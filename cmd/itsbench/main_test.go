@@ -1,0 +1,37 @@
+package main
+
+import "testing"
+
+// The harness is exercised end-to-end at a tiny scale: every experiment and
+// format must render without error (outputs go to stdout; correctness of
+// the numbers is covered by internal/core's tests).
+func TestRunAllExperiments(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run in -short mode")
+	}
+	for _, exp := range []string{"setup", "obs", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "xover", "spin"} {
+		if err := run(exp, 0.01, "text"); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunFormats(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run in -short mode")
+	}
+	for _, format := range []string{"csv", "chart"} {
+		if err := run("fig4a", 0.01, format); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+	}
+}
+
+func TestRunRejectsUnknown(t *testing.T) {
+	if err := run("nope", 0.01, "text"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+	if err := run("fig4a", 0.01, "nope"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}

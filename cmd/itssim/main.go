@@ -1,0 +1,97 @@
+// Command itssim runs one process batch under one I/O-mode policy on the
+// simulated platform and prints the resulting metrics.
+//
+// Usage:
+//
+//	itssim -batch 2_Data_Intensive -policy ITS -scale 0.25 [-v]
+//
+// Batches: No_Data_Intensive, 1_Data_Intensive, 2_Data_Intensive,
+// 3_Data_Intensive. Policies: Async, Sync, Sync_Runahead, Sync_Prefetch,
+// ITS.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"itsim/internal/core"
+	"itsim/internal/machine"
+	"itsim/internal/policy"
+	"itsim/internal/workload"
+)
+
+// coreMachineConfig returns the default platform with scale-appropriate
+// slices and the DRAM ratio overridden.
+func coreMachineConfig(scale, dramRatio float64) machine.Config {
+	cfg := machine.DefaultConfig()
+	cfg.MinSlice, cfg.MaxSlice = core.SliceRange(scale)
+	cfg.DRAMRatio = dramRatio
+	return cfg
+}
+
+func main() {
+	var (
+		batchName  = flag.String("batch", "2_Data_Intensive", "process batch name")
+		policyName = flag.String("policy", "ITS", "I/O-mode policy")
+		scale      = flag.Float64("scale", 0.25, "workload scale factor (1.0 = full size)")
+		dramRatio  = flag.Float64("dram", 0, "override DRAM/footprint ratio (0 = default)")
+		verbose    = flag.Bool("v", false, "per-process detail")
+	)
+	flag.Parse()
+
+	if err := run(*batchName, *policyName, *scale, *dramRatio, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "itssim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(batchName, policyName string, scale, dramRatio float64, verbose bool) error {
+	b, err := workload.BatchByName(batchName)
+	if err != nil {
+		return err
+	}
+	kind, err := policy.KindByName(policyName)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{Scale: scale}
+	if dramRatio > 0 {
+		cfg := coreMachineConfig(scale, dramRatio)
+		opts.Machine = &cfg
+	}
+	run, err := core.RunBatch(b, kind, opts)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("batch=%s policy=%s scale=%g\n", b.Name, kind, scale)
+	fmt.Printf("  makespan          %v\n", run.Makespan)
+	fmt.Printf("  total CPU idle    %v (sched idle %v)\n", run.TotalIdle(), run.SchedulerIdle)
+	fmt.Printf("  major faults      %d (minor %d)\n", run.TotalMajorFaults(), run.TotalMinorFaults())
+	fmt.Printf("  LLC misses        %d\n", run.TotalLLCMisses())
+	fmt.Printf("  context switches  %d (time %v)\n", run.TotalContextSwitches(), run.ContextSwitchTime)
+	fmt.Printf("  stolen time       %v (prefetch accuracy %.1f%%)\n", run.TotalStolen(), 100*run.PrefetchAccuracy())
+	fmt.Printf("  avg finish        %v (top50 %v, bottom50 %v)\n",
+		run.AvgFinish(), run.TopHalfAvgFinish(), run.BottomHalfAvgFinish())
+	if run.SyncWaitHist.Count() > 0 {
+		fmt.Printf("  sync waits        %s\n", run.SyncWaitHist)
+	}
+	if run.BlockedHist.Count() > 0 {
+		fmt.Printf("  blocked waits     %s\n", run.BlockedHist)
+	}
+
+	if verbose {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "  pid\tname\tprio\tfinish\tmajflt\tllc-miss\tmem-stall\tstorage-wait\tstolen\tpf-issued\tpf-useful")
+		for _, p := range run.Procs {
+			fmt.Fprintf(w, "  %d\t%s\t%d\t%v\t%d\t%d\t%v\t%v\t%v\t%d\t%d\n",
+				p.PID, p.Name, p.Priority, p.FinishTime, p.MajorFaults, p.LLCMisses,
+				p.MemStall, p.StorageWait, p.StolenPrefetch+p.StolenPreexec,
+				p.PrefetchIssued, p.PrefetchUseful)
+		}
+		w.Flush()
+	}
+	return nil
+}

@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestRunCLI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run in -short mode")
+	}
+	if err := run("1_Data_Intensive", "ITS", 0.01, 0, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run("No_Data_Intensive", "Sync", 0.01, 0.8, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCLIRejectsUnknown(t *testing.T) {
+	if err := run("nope", "ITS", 0.01, 0, false); err == nil {
+		t.Fatal("unknown batch accepted")
+	}
+	if err := run("1_Data_Intensive", "nope", 0.01, 0, false); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}

@@ -1,0 +1,145 @@
+// Command tracegen generates the synthetic benchmark traces as binary ITRC
+// files and inspects existing ones, so traces can be shipped, diffed, and
+// replayed independently of the generators.
+//
+// Usage:
+//
+//	tracegen -gen wrf -scale 0.25 -o wrf.itrc    # generate one benchmark
+//	tracegen -gen all -scale 0.25 -dir traces/   # generate all nine
+//	tracegen -info wrf.itrc                      # inspect a trace file
+//	tracegen -convert lackey.log -o real.itrc    # import Valgrind Lackey output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"itsim"
+)
+
+func main() {
+	var (
+		gen     = flag.String("gen", "", "benchmark to generate ('all' for all nine)")
+		scale   = flag.Float64("scale", 0.25, "workload scale factor")
+		out     = flag.String("o", "", "output file (default <name>.itrc)")
+		dir     = flag.String("dir", ".", "output directory for -gen all")
+		info    = flag.String("info", "", "inspect an existing trace file")
+		convert = flag.String("convert", "", "convert a Valgrind Lackey --trace-mem log to ITRC")
+	)
+	flag.Parse()
+
+	switch {
+	case *convert != "":
+		path := *out
+		if path == "" {
+			path = strings.TrimSuffix(*convert, filepath.Ext(*convert)) + ".itrc"
+		}
+		if err := convertLackey(*convert, path); err != nil {
+			fail(err)
+		}
+	case *info != "":
+		if err := inspect(*info); err != nil {
+			fail(err)
+		}
+	case *gen == "all":
+		for _, name := range itsim.Workloads() {
+			path := filepath.Join(*dir, name+".itrc")
+			if err := generate(name, *scale, path); err != nil {
+				fail(err)
+			}
+		}
+	case *gen != "":
+		path := *out
+		if path == "" {
+			path = *gen + ".itrc"
+		}
+		if err := generate(*gen, *scale, path); err != nil {
+			fail(err)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// convertLackey imports a Valgrind Lackey log as an ITRC trace file.
+func convertLackey(in, out string) error {
+	f, err := os.Open(in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(in), filepath.Ext(in))
+	g, err := itsim.ParseLackey(f, name)
+	if err != nil {
+		return err
+	}
+	o, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := itsim.WriteTrace(o, g); err != nil {
+		o.Close()
+		return err
+	}
+	if err := o.Close(); err != nil {
+		return err
+	}
+	st := itsim.AnalyzeTrace(g)
+	fmt.Printf("%s -> %s: %d records, %d instructions, %d pages\n",
+		in, out, st.Records, st.Instrs, st.UniquePages)
+	return nil
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "tracegen:", err)
+	os.Exit(1)
+}
+
+func generate(name string, scale float64, path string) error {
+	g, err := itsim.NewGenerator(name, scale)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := itsim.WriteTrace(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %8d records  %6.1f MiB footprint  %7.1f KiB file\n",
+		path, g.Len(), float64(g.FootprintBytes())/(1<<20), float64(st.Size())/1024)
+	return nil
+}
+
+func inspect(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	g, err := itsim.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	st := itsim.AnalyzeTrace(g)
+	fmt.Printf("name            %s\n", st.Name)
+	fmt.Printf("records         %d (%d loads, %d stores)\n", st.Records, st.Loads, st.Stores)
+	fmt.Printf("instructions    %d\n", st.Instrs)
+	fmt.Printf("unique pages    %d (%.1f MiB touched)\n", st.UniquePages, float64(st.UniquePages)*4096/(1<<20))
+	fmt.Printf("address range   %#x .. %#x\n", st.MinAddr, st.MaxAddr)
+	fmt.Printf("footprint       %.1f MiB (declared)\n", float64(g.FootprintBytes())/(1<<20))
+	return nil
+}

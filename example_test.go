@@ -1,0 +1,49 @@
+package itsim_test
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"itsim"
+)
+
+// The minimal end-to-end flow: pick a batch, run it under a policy, read
+// the metrics. (Scale 0.01 keeps this example fast; the paper's figures use
+// 0.25.)
+func ExampleRunBatch() {
+	batch, err := itsim.BatchByName("2_Data_Intensive")
+	if err != nil {
+		log.Fatal(err)
+	}
+	run, err := itsim.RunBatch(batch, itsim.ITS, itsim.Options{Scale: 0.01})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(run.Policy, len(run.Procs), run.Makespan > 0)
+	// Output: ITS 6 true
+}
+
+func ExamplePolicies() {
+	for _, k := range itsim.Policies() {
+		fmt.Println(k)
+	}
+	// Output:
+	// Async
+	// Sync
+	// Sync_Runahead
+	// Sync_Prefetch
+	// ITS
+}
+
+// Importing a Valgrind Lackey capture — the paper's trace front end.
+func ExampleParseLackey() {
+	log := "I  0023C790,2\n L 04222C48,4\n S 04222C14,8\n"
+	g, err := itsim.ParseLackey(strings.NewReader(log), "captured")
+	if err != nil {
+		panic(err)
+	}
+	st := itsim.AnalyzeTrace(g)
+	fmt.Println(st.Name, st.Records, st.Loads, st.Stores)
+	// Output: captured 2 1 1
+}

@@ -1,0 +1,76 @@
+// Prioritymix: the paper's Figure 5 driver — how the priority-aware ITS
+// design changes per-process finish times. High-priority processes get the
+// self-improving thread (synchronous waits + prefetch + pre-execution);
+// low-priority processes get the self-sacrificing thread (asynchronous
+// yields). The paper's claim: BOTH halves finish earlier than under every
+// baseline.
+//
+//	go run ./examples/prioritymix [-batch 3_Data_Intensive] [-scale 0.1]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"text/tabwriter"
+
+	"itsim"
+)
+
+func main() {
+	batchName := flag.String("batch", "3_Data_Intensive", "process batch")
+	scale := flag.Float64("scale", 0.1, "workload scale")
+	flag.Parse()
+
+	batch, err := itsim.BatchByName(*batchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opts := itsim.Options{Scale: *scale}
+
+	runs := map[itsim.Policy]*itsim.Run{}
+	for _, k := range itsim.Policies() {
+		r, err := itsim.RunBatch(batch, k, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		runs[k] = r
+	}
+
+	// Per-process finish times, sorted by priority (highest first).
+	its := runs[itsim.ITS]
+	procs := append([]*itsim.ProcessMetrics(nil), its.Procs...)
+	sort.Slice(procs, func(i, j int) bool { return procs[i].Priority > procs[j].Priority })
+
+	fmt.Printf("batch %s under ITS — per-process outcome\n\n", batch.Name)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "process\tpriority\trole\tfinish\tmajor faults\tprefetched\tstolen time")
+	for _, p := range procs {
+		role := "self-improving"
+		if p.Priority <= len(procs)/2 {
+			role = "self-sacrificing"
+		}
+		fmt.Fprintf(w, "%s\t%d\t%s\t%v\t%d\t%d\t%v\n",
+			p.Name, p.Priority, role, p.FinishTime, p.MajorFaults,
+			p.PrefetchIssued, p.StolenPrefetch+p.StolenPreexec)
+	}
+	w.Flush()
+
+	fmt.Println("\nAverage finish time by priority half, normalized to ITS (Figures 5a/5b)")
+	fmt.Fprintln(w, "policy\ttop 50%\tbottom 50%")
+	itsTop := its.TopHalfAvgFinish().Seconds()
+	itsBot := its.BottomHalfAvgFinish().Seconds()
+	for _, k := range itsim.Policies() {
+		r := runs[k]
+		fmt.Fprintf(w, "%s\t%.2f×\t%.2f×\n", k,
+			r.TopHalfAvgFinish().Seconds()/itsTop,
+			r.BottomHalfAvgFinish().Seconds()/itsBot)
+	}
+	w.Flush()
+
+	fmt.Println("\nThe self-sacrificing processes yield during their I/O, yet still finish")
+	fmt.Println("earlier than under the baselines: the high-priority processes they made")
+	fmt.Println("way for complete sooner and stop contending for memory and CPU.")
+}

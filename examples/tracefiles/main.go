@@ -1,0 +1,84 @@
+// Tracefiles: the external-trace workflow. The simulator's front end is a
+// trace format (the paper uses Valgrind captures); this example writes two
+// synthetic traces to disk in the binary ITRC format, inspects them, loads
+// them back, and runs the loaded traces through the simulator — the exact
+// path a user with real captured traces would take.
+//
+//	go run ./examples/tracefiles
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"itsim"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "itsim-traces")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Capture: write two benchmarks' traces to disk.
+	names := []string{"xz", "randomwalk"}
+	paths := make([]string, len(names))
+	for i, name := range names {
+		gen, err := itsim.NewGenerator(name, 0.05)
+		if err != nil {
+			log.Fatal(err)
+		}
+		paths[i] = filepath.Join(dir, name+".itrc")
+		f, err := os.Create(paths[i])
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := itsim.WriteTrace(f, gen); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		info, _ := os.Stat(paths[i])
+		fmt.Printf("wrote %s (%d KiB)\n", paths[i], info.Size()/1024)
+	}
+
+	// 2. Inspect: reload and summarize.
+	specs := make([]itsim.ProcessSpec, len(paths))
+	for i, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := itsim.ReadTrace(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		st := itsim.AnalyzeTrace(gen)
+		fmt.Printf("%-12s records=%d instrs=%d loads=%d stores=%d pages=%d\n",
+			st.Name, st.Records, st.Instrs, st.Loads, st.Stores, st.UniquePages)
+		specs[i] = itsim.ProcessSpec{
+			Name:     gen.Name(),
+			Gen:      gen,
+			Priority: len(paths) - i, // first trace gets the higher priority
+		}
+	}
+
+	// 3. Simulate: run the loaded traces under Sync and ITS.
+	for _, kind := range []itsim.Policy{itsim.Sync, itsim.ITS} {
+		run, err := itsim.RunProcesses("from-files", specs, kind, 1, itsim.Options{Scale: 0.05})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\n%-13s makespan=%v idle=%v faults=%d\n",
+			kind, run.Makespan, run.TotalIdle(), run.TotalMajorFaults())
+		for _, p := range run.Procs {
+			fmt.Printf("  %-12s prio=%d finish=%v majflt=%d\n",
+				p.Name, p.Priority, p.FinishTime, p.MajorFaults)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module itsim
+
+go 1.22

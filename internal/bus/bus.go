@@ -1,0 +1,96 @@
+// Package bus models the host interface between DRAM and the ULL storage
+// device: a multi-lane PCIe link with finite bandwidth, matching the paper's
+// §4.1 setup ("a 4-lane PCIe 5.x host interface … approximately 3.983 GB/s
+// bandwidth per lane").
+//
+// Transfers serialize on the link: each reservation starts no earlier than
+// the end of the previous one, which makes bulk prefetching consume real
+// bus time instead of being free.
+package bus
+
+import "itsim/internal/sim"
+
+// Default PCIe 5.x ×4 parameters from the paper.
+const (
+	// DefaultLanes is the lane count.
+	DefaultLanes = 4
+	// DefaultLaneBandwidth is bytes per second per lane (~3.983 GB/s).
+	DefaultLaneBandwidth = 3_983_000_000
+)
+
+// Stats counts link activity.
+type Stats struct {
+	Transfers  uint64
+	Bytes      uint64
+	BusyTime   sim.Time // total time the link spent transferring
+	QueueDelay sim.Time // total time requests waited for the link
+}
+
+// Link is a serialized shared interconnect.
+type Link struct {
+	lanes     int
+	laneBytes int64 // bytes/second per lane
+	busyUntil sim.Time
+	stats     Stats
+}
+
+// New creates a link with the given lane count and per-lane bandwidth in
+// bytes/second. Non-positive arguments select the paper defaults.
+func New(lanes int, laneBandwidth int64) *Link {
+	if lanes <= 0 {
+		lanes = DefaultLanes
+	}
+	if laneBandwidth <= 0 {
+		laneBandwidth = DefaultLaneBandwidth
+	}
+	return &Link{lanes: lanes, laneBytes: laneBandwidth}
+}
+
+// Bandwidth returns the aggregate link bandwidth in bytes/second.
+func (l *Link) Bandwidth() int64 { return int64(l.lanes) * l.laneBytes }
+
+// TransferTime returns the wire time for n bytes at full aggregate
+// bandwidth, ignoring queueing.
+func (l *Link) TransferTime(n int) sim.Time {
+	if n <= 0 {
+		return 0
+	}
+	ns := (int64(n)*int64(sim.Second) + l.Bandwidth() - 1) / l.Bandwidth()
+	return sim.Time(ns)
+}
+
+// Reserve books a transfer of n bytes that becomes eligible at ready. It
+// returns the transfer's start and completion times, accounting for the
+// link being busy with earlier transfers.
+func (l *Link) Reserve(ready sim.Time, n int) (start, done sim.Time) {
+	start = ready
+	if l.busyUntil > start {
+		l.stats.QueueDelay += l.busyUntil - start
+		start = l.busyUntil
+	}
+	dur := l.TransferTime(n)
+	done = start + dur
+	l.busyUntil = done
+	l.stats.Transfers++
+	l.stats.Bytes += uint64(n)
+	l.stats.BusyTime += dur
+	return start, done
+}
+
+// BusyUntil returns the time at which the link drains.
+func (l *Link) BusyUntil() sim.Time { return l.busyUntil }
+
+// Stats returns a copy of the counters.
+func (l *Link) Stats() Stats { return l.stats }
+
+// Utilization returns BusyTime divided by elapsed, clamped to [0,1].
+func (l *Link) Utilization(elapsed sim.Time) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	u := float64(l.stats.BusyTime) / float64(elapsed)
+	if u > 1 {
+		u = 1
+	}
+	return u
+}

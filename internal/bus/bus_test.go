@@ -1,0 +1,91 @@
+package bus
+
+import (
+	"testing"
+
+	"itsim/internal/sim"
+)
+
+func TestDefaults(t *testing.T) {
+	l := New(0, 0)
+	want := int64(DefaultLanes) * DefaultLaneBandwidth
+	if l.Bandwidth() != want {
+		t.Fatalf("Bandwidth = %d, want %d", l.Bandwidth(), want)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	l := New(4, 3_983_000_000) // ~15.93 GB/s aggregate
+	// 4 KiB at 15.932 GB/s ≈ 257 ns (rounded up).
+	got := l.TransferTime(4096)
+	if got < 255*sim.Nanosecond || got > 260*sim.Nanosecond {
+		t.Fatalf("TransferTime(4096) = %v, want ≈257ns", got)
+	}
+	if l.TransferTime(0) != 0 || l.TransferTime(-5) != 0 {
+		t.Fatal("non-positive sizes must cost 0")
+	}
+}
+
+func TestTransferTimeRoundsUp(t *testing.T) {
+	l := New(1, int64(sim.Second)) // 1 byte per ns exactly
+	if got := l.TransferTime(3); got != 3 {
+		t.Fatalf("TransferTime(3) = %v, want 3ns", got)
+	}
+	l2 := New(1, int64(sim.Second)*2) // 2 bytes per ns
+	if got := l2.TransferTime(3); got != 2 {
+		t.Fatalf("TransferTime(3) at 2B/ns = %v, want 2ns (ceil)", got)
+	}
+}
+
+func TestSerialization(t *testing.T) {
+	l := New(1, int64(sim.Second)) // 1 byte/ns
+	s1, d1 := l.Reserve(0, 100)
+	if s1 != 0 || d1 != 100 {
+		t.Fatalf("first transfer [%v,%v], want [0,100]", s1, d1)
+	}
+	// Second transfer ready at 50 must queue until 100.
+	s2, d2 := l.Reserve(50, 100)
+	if s2 != 100 || d2 != 200 {
+		t.Fatalf("second transfer [%v,%v], want [100,200]", s2, d2)
+	}
+	// Third ready after drain starts immediately.
+	s3, d3 := l.Reserve(300, 10)
+	if s3 != 300 || d3 != 310 {
+		t.Fatalf("third transfer [%v,%v], want [300,310]", s3, d3)
+	}
+	st := l.Stats()
+	if st.Transfers != 3 || st.Bytes != 210 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.QueueDelay != 50 {
+		t.Fatalf("QueueDelay = %v, want 50ns", st.QueueDelay)
+	}
+	if st.BusyTime != 210 {
+		t.Fatalf("BusyTime = %v, want 210ns", st.BusyTime)
+	}
+}
+
+func TestUtilization(t *testing.T) {
+	l := New(1, int64(sim.Second))
+	l.Reserve(0, 500)
+	if u := l.Utilization(1000); u != 0.5 {
+		t.Fatalf("Utilization = %v, want 0.5", u)
+	}
+	if u := l.Utilization(0); u != 0 {
+		t.Fatal("Utilization with zero elapsed should be 0")
+	}
+	if u := l.Utilization(100); u != 1 {
+		t.Fatalf("Utilization clamps to 1, got %v", u)
+	}
+}
+
+func TestBusyUntil(t *testing.T) {
+	l := New(1, int64(sim.Second))
+	if l.BusyUntil() != 0 {
+		t.Fatal("fresh link busy")
+	}
+	l.Reserve(10, 5)
+	if l.BusyUntil() != 15 {
+		t.Fatalf("BusyUntil = %v, want 15", l.BusyUntil())
+	}
+}

@@ -1,0 +1,28 @@
+package cache
+
+import "testing"
+
+func BenchmarkAccessHit(b *testing.B) {
+	c := New(Config{SizeBytes: 8 << 20, LineBytes: 64, Ways: 16})
+	c.Fill(0x1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(0x1000)
+	}
+}
+
+func BenchmarkAccessMiss(b *testing.B) {
+	c := New(Config{SizeBytes: 8 << 20, LineBytes: 64, Ways: 16})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(uint64(i) * 64)
+	}
+}
+
+func BenchmarkFillEvict(b *testing.B) {
+	c := New(Config{SizeBytes: 256 << 10, LineBytes: 64, Ways: 16})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Fill(uint64(i) * 64)
+	}
+}

@@ -1,0 +1,240 @@
+// Package cache implements the N-way set-associative cache model used for
+// the simulated CPU's last-level cache (LLC) and, with the byte-granular INV
+// extension in internal/cpu, the pre-execute cache.
+//
+// The paper's configuration (§4.1) is a 16-way, 8 MB LLC with 64-byte lines;
+// for Sync_Runahead and ITS, half of the LLC is carved out as the
+// pre-execute cache, which this package supports by simply constructing two
+// caches of half the capacity each.
+//
+// The cache is keyed by 64-bit addresses. Because the simulated processes
+// use overlapping virtual address spaces, the machine model tags addresses
+// with the process id in the upper bits before lookup, modelling a
+// physically-indexed shared LLC without building full physical addressing
+// into the cache itself.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Config sizes a cache.
+type Config struct {
+	// SizeBytes is the total capacity, e.g. 8 << 20.
+	SizeBytes int
+	// LineBytes is the line size, e.g. 64. Must be a power of two.
+	LineBytes int
+	// Ways is the associativity, e.g. 16.
+	Ways int
+}
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	if c.SizeBytes <= 0 || c.LineBytes <= 0 || c.Ways <= 0 {
+		return fmt.Errorf("cache: non-positive config %+v", c)
+	}
+	if c.LineBytes&(c.LineBytes-1) != 0 {
+		return fmt.Errorf("cache: line size %d not a power of two", c.LineBytes)
+	}
+	lines := c.SizeBytes / c.LineBytes
+	if lines*c.LineBytes != c.SizeBytes {
+		return fmt.Errorf("cache: size %d not a multiple of line size %d", c.SizeBytes, c.LineBytes)
+	}
+	if lines%c.Ways != 0 {
+		return fmt.Errorf("cache: %d lines not divisible by %d ways", lines, c.Ways)
+	}
+	sets := lines / c.Ways
+	if sets&(sets-1) != 0 {
+		return fmt.Errorf("cache: set count %d not a power of two", sets)
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Accesses  uint64
+	Hits      uint64
+	Misses    uint64
+	Evictions uint64
+	Fills     uint64
+}
+
+// MissRatio returns Misses/Accesses, or 0 when no accesses occurred.
+func (s Stats) MissRatio() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+// Cache is an N-way set-associative cache with true-LRU replacement within
+// each set. It tracks line presence only (no data), which is all the timing
+// model needs.
+type Cache struct {
+	cfg       Config
+	lineShift uint
+	setMask   uint64
+	ways      int
+	// Flat arrays indexed by set*ways+way.
+	tags  []uint64
+	valid []bool
+	// lruTick provides cheap true-LRU: larger == more recent.
+	lruTick []uint64
+	tick    uint64
+	stats   Stats
+}
+
+// New builds a cache from cfg, panicking on invalid configuration (caches
+// are constructed from vetted experiment configs; an invalid one is a bug).
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	lines := cfg.SizeBytes / cfg.LineBytes
+	sets := lines / cfg.Ways
+	return &Cache{
+		cfg:       cfg,
+		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
+		setMask:   uint64(sets - 1),
+		ways:      cfg.Ways,
+		tags:      make([]uint64, lines),
+		valid:     make([]bool, lines),
+		lruTick:   make([]uint64, lines),
+	}
+}
+
+// Config returns the cache geometry.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Sets returns the number of sets.
+func (c *Cache) Sets() int { return int(c.setMask) + 1 }
+
+// Stats returns a copy of the activity counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the activity counters without touching contents.
+func (c *Cache) ResetStats() { c.stats = Stats{} }
+
+// LineOf returns the line index (address >> lineShift) for addr.
+func (c *Cache) LineOf(addr uint64) uint64 { return addr >> c.lineShift }
+
+func (c *Cache) setOf(line uint64) int { return int(line & c.setMask) }
+
+// Access looks up addr, counting a hit or miss. On hit the line's recency is
+// refreshed. It does NOT allocate on miss; pair with Fill for
+// fetch-on-miss semantics, so the caller can charge memory latency first.
+func (c *Cache) Access(addr uint64) bool {
+	c.stats.Accesses++
+	line := c.LineOf(addr)
+	base := c.setOf(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.tick++
+			c.lruTick[i] = c.tick
+			c.stats.Hits++
+			return true
+		}
+	}
+	c.stats.Misses++
+	return false
+}
+
+// Contains reports whether addr's line is present without updating recency
+// or statistics. Used by the pre-execute engine's validity checks.
+func (c *Cache) Contains(addr uint64) bool {
+	line := c.LineOf(addr)
+	base := c.setOf(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Fill installs addr's line, evicting the LRU way if the set is full.
+// It returns the evicted line tag and true if a valid line was displaced.
+// Filling a line that is already present just refreshes its recency.
+func (c *Cache) Fill(addr uint64) (evicted uint64, wasValid bool) {
+	line := c.LineOf(addr)
+	base := c.setOf(line) * c.ways
+	victim := base
+	var victimTick uint64 = ^uint64(0)
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.tick++
+			c.lruTick[i] = c.tick
+			return 0, false
+		}
+		if !c.valid[i] {
+			// Prefer an invalid way; mark it immediately preferred.
+			if victimTick != 0 {
+				victim, victimTick = i, 0
+			}
+			continue
+		}
+		if c.lruTick[i] < victimTick {
+			victim, victimTick = i, c.lruTick[i]
+		}
+	}
+	c.stats.Fills++
+	if c.valid[victim] {
+		evicted, wasValid = c.tags[victim], true
+		c.stats.Evictions++
+	}
+	c.tick++
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.lruTick[victim] = c.tick
+	return evicted, wasValid
+}
+
+// Invalidate drops addr's line if present, returning whether it was present.
+func (c *Cache) Invalidate(addr uint64) bool {
+	line := c.LineOf(addr)
+	base := c.setOf(line) * c.ways
+	for w := 0; w < c.ways; w++ {
+		i := base + w
+		if c.valid[i] && c.tags[i] == line {
+			c.valid[i] = false
+			return true
+		}
+	}
+	return false
+}
+
+// InvalidateMatching drops every line for which keep(tagLine) reports true.
+// The machine uses this to flush a terminated process's lines (tag match on
+// the pid bits). Returns the number of lines dropped.
+func (c *Cache) InvalidateMatching(match func(line uint64) bool) int {
+	n := 0
+	for i := range c.tags {
+		if c.valid[i] && match(c.tags[i]) {
+			c.valid[i] = false
+			n++
+		}
+	}
+	return n
+}
+
+// Flush invalidates every line.
+func (c *Cache) Flush() {
+	for i := range c.valid {
+		c.valid[i] = false
+	}
+}
+
+// ValidLines returns the number of currently valid lines.
+func (c *Cache) ValidLines() int {
+	n := 0
+	for _, v := range c.valid {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,234 @@
+package cache
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallCfg() Config {
+	return Config{SizeBytes: 4096, LineBytes: 64, Ways: 4} // 16 sets? 4096/64=64 lines /4 = 16 sets
+}
+
+func TestConfigValidate(t *testing.T) {
+	good := []Config{
+		smallCfg(),
+		{SizeBytes: 8 << 20, LineBytes: 64, Ways: 16},
+		{SizeBytes: 32 << 10, LineBytes: 64, Ways: 8},
+	}
+	for _, c := range good {
+		if err := c.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", c, err)
+		}
+	}
+	bad := []Config{
+		{},
+		{SizeBytes: -1, LineBytes: 64, Ways: 4},
+		{SizeBytes: 4096, LineBytes: 48, Ways: 4},    // line not power of two
+		{SizeBytes: 4096, LineBytes: 64, Ways: 3},    // 64 lines not divisible... 64/3 no
+		{SizeBytes: 64 * 48, LineBytes: 64, Ways: 4}, // 48/4=12 sets: not power of two
+		{SizeBytes: 4100, LineBytes: 64, Ways: 4},    // size not multiple of line
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", c)
+		}
+	}
+}
+
+func TestAccessMissThenHit(t *testing.T) {
+	c := New(smallCfg())
+	if c.Access(0x1000) {
+		t.Fatal("hit on empty cache")
+	}
+	c.Fill(0x1000)
+	if !c.Access(0x1000) {
+		t.Fatal("miss after Fill")
+	}
+	if !c.Access(0x1038) {
+		t.Fatal("miss on same line, different offset")
+	}
+	if c.Access(0x1040) {
+		t.Fatal("hit on adjacent line")
+	}
+	st := c.Stats()
+	if st.Accesses != 4 || st.Hits != 2 || st.Misses != 2 || st.Fills != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(smallCfg()) // 16 sets, 4 ways
+	sets := uint64(c.Sets())
+	line := uint64(64)
+	// Five lines mapping to set 0: addresses k*sets*line.
+	addrs := make([]uint64, 5)
+	for i := range addrs {
+		addrs[i] = uint64(i) * sets * line
+	}
+	for _, a := range addrs[:4] {
+		c.Fill(a)
+	}
+	// Touch addrs[0] so addrs[1] is LRU.
+	c.Access(addrs[0])
+	evicted, was := c.Fill(addrs[4])
+	if !was {
+		t.Fatal("no eviction from full set")
+	}
+	if evicted != c.LineOf(addrs[1]) {
+		t.Fatalf("evicted line %#x, want LRU %#x", evicted, c.LineOf(addrs[1]))
+	}
+	if c.Contains(addrs[1]) {
+		t.Fatal("evicted line still present")
+	}
+	if !c.Contains(addrs[0]) || !c.Contains(addrs[4]) {
+		t.Fatal("wrong lines evicted")
+	}
+}
+
+func TestFillPresentLineRefreshesWithoutEviction(t *testing.T) {
+	c := New(smallCfg())
+	c.Fill(0)
+	if _, was := c.Fill(0); was {
+		t.Fatal("refill of present line evicted something")
+	}
+	if c.Stats().Fills != 1 {
+		t.Fatalf("refill counted as new fill: %+v", c.Stats())
+	}
+}
+
+func TestContainsDoesNotPerturb(t *testing.T) {
+	c := New(smallCfg())
+	sets := uint64(c.Sets())
+	line := uint64(64)
+	a0, a1, a2, a3, a4 := uint64(0), sets*line, 2*sets*line, 3*sets*line, 4*sets*line
+	c.Fill(a0)
+	c.Fill(a1)
+	c.Fill(a2)
+	c.Fill(a3)
+	before := c.Stats()
+	// Contains on a0 must not refresh its recency or touch stats.
+	c.Contains(a0)
+	if c.Stats() != before {
+		t.Fatal("Contains changed stats")
+	}
+	c.Fill(a4) // evicts a0 (still LRU despite Contains)
+	if c.Contains(a0) {
+		t.Fatal("Contains refreshed recency")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	c := New(smallCfg())
+	c.Fill(0x40)
+	if !c.Invalidate(0x40) {
+		t.Fatal("Invalidate missed present line")
+	}
+	if c.Invalidate(0x40) {
+		t.Fatal("Invalidate hit absent line")
+	}
+	if c.Contains(0x40) {
+		t.Fatal("line present after Invalidate")
+	}
+}
+
+func TestInvalidateMatchingAndFlush(t *testing.T) {
+	c := New(smallCfg())
+	for i := uint64(0); i < 8; i++ {
+		c.Fill(i * 64)
+	}
+	n := c.InvalidateMatching(func(line uint64) bool { return line%2 == 0 })
+	if n != 4 {
+		t.Fatalf("InvalidateMatching dropped %d, want 4", n)
+	}
+	if c.ValidLines() != 4 {
+		t.Fatalf("ValidLines = %d, want 4", c.ValidLines())
+	}
+	c.Flush()
+	if c.ValidLines() != 0 {
+		t.Fatal("Flush left valid lines")
+	}
+}
+
+func TestEvictionOnlyWithinSet(t *testing.T) {
+	c := New(smallCfg())
+	// Fill every set's way 0.
+	for s := 0; s < c.Sets(); s++ {
+		c.Fill(uint64(s) * 64)
+	}
+	if c.ValidLines() != c.Sets() {
+		t.Fatalf("ValidLines = %d, want %d", c.ValidLines(), c.Sets())
+	}
+	// Overfill set 0 only; other sets must be untouched.
+	sets := uint64(c.Sets())
+	for k := uint64(1); k <= 4; k++ {
+		c.Fill(k * sets * 64)
+	}
+	for s := 1; s < c.Sets(); s++ {
+		if !c.Contains(uint64(s) * 64) {
+			t.Fatalf("set %d lost its line to set 0 pressure", s)
+		}
+	}
+}
+
+// Property: capacity is never exceeded and a just-filled line is always
+// present.
+func TestCapacityProperty(t *testing.T) {
+	cfg := smallCfg()
+	capacity := cfg.SizeBytes / cfg.LineBytes
+	f := func(addrs []uint32) bool {
+		c := New(cfg)
+		for _, a := range addrs {
+			c.Fill(uint64(a))
+			if !c.Contains(uint64(a)) {
+				return false
+			}
+			if c.ValidLines() > capacity {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: hits+misses == accesses; evictions <= fills.
+func TestStatsInvariantProperty(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New(smallCfg())
+		for _, op := range ops {
+			addr := uint64(op) * 8
+			if op%3 == 0 {
+				c.Fill(addr)
+			} else {
+				c.Access(addr)
+			}
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == st.Accesses && st.Evictions <= st.Fills
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissRatio(t *testing.T) {
+	var s Stats
+	if s.MissRatio() != 0 {
+		t.Fatal("MissRatio on zero stats != 0")
+	}
+	s = Stats{Accesses: 10, Misses: 3}
+	if got := s.MissRatio(); got != 0.3 {
+		t.Fatalf("MissRatio = %v, want 0.3", got)
+	}
+}
+
+func TestInvalidConfigPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New with invalid config did not panic")
+		}
+	}()
+	New(Config{SizeBytes: 100, LineBytes: 7, Ways: 2})
+}

@@ -1,0 +1,72 @@
+package cpu
+
+import "fmt"
+
+// TLB models the translation lookaside buffer: a fully-associative cache of
+// page translations with LRU replacement. The machine can run with the TLB
+// enabled as a mechanistic replacement for the fixed per-switch pollution
+// constant: without address-space identifiers a context switch flushes the
+// TLB, and the switched-in process re-misses its hot pages, paying a page
+// walk each time — the §2.1.1 "TLB shootdown" cost, derived instead of
+// assumed.
+type TLB struct {
+	entries map[uint64]uint64 // page key → last-use tick
+	cap     int
+	tick    uint64
+
+	hits    uint64
+	misses  uint64
+	flushes uint64
+}
+
+// NewTLB builds a TLB with the given entry count.
+func NewTLB(entries int) *TLB {
+	if entries <= 0 {
+		panic(fmt.Sprintf("cpu: non-positive TLB size %d", entries))
+	}
+	return &TLB{entries: make(map[uint64]uint64, entries), cap: entries}
+}
+
+// Capacity returns the entry count.
+func (t *TLB) Capacity() int { return t.cap }
+
+// Lookup checks the translation for the page key (the machine passes
+// pid-tagged page numbers) and inserts it on miss, evicting the LRU entry
+// when full. Returns true on hit.
+func (t *TLB) Lookup(pageKey uint64) bool {
+	t.tick++
+	if _, ok := t.entries[pageKey]; ok {
+		t.entries[pageKey] = t.tick
+		t.hits++
+		return true
+	}
+	t.misses++
+	if len(t.entries) >= t.cap {
+		var lruKey uint64
+		lruTick := ^uint64(0)
+		for k, tk := range t.entries {
+			if tk < lruTick {
+				lruTick, lruKey = tk, k
+			}
+		}
+		delete(t.entries, lruKey)
+	}
+	t.entries[pageKey] = t.tick
+	return false
+}
+
+// Flush drops every translation (context switch without ASIDs).
+func (t *TLB) Flush() {
+	for k := range t.entries {
+		delete(t.entries, k)
+	}
+	t.flushes++
+}
+
+// Stats returns (hits, misses, flushes).
+func (t *TLB) Stats() (hits, misses, flushes uint64) {
+	return t.hits, t.misses, t.flushes
+}
+
+// Live returns the number of resident translations.
+func (t *TLB) Live() int { return len(t.entries) }

@@ -1,0 +1,71 @@
+package cpu
+
+import "testing"
+
+func TestTLBHitMiss(t *testing.T) {
+	tlb := NewTLB(4)
+	if tlb.Lookup(1) {
+		t.Fatal("hit on empty TLB")
+	}
+	if !tlb.Lookup(1) {
+		t.Fatal("miss after insert")
+	}
+	hits, misses, _ := tlb.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats %d/%d", hits, misses)
+	}
+}
+
+func TestTLBLRUEviction(t *testing.T) {
+	tlb := NewTLB(3)
+	tlb.Lookup(1)
+	tlb.Lookup(2)
+	tlb.Lookup(3)
+	tlb.Lookup(1) // refresh 1; LRU is now 2
+	tlb.Lookup(4) // evicts 2
+	if tlb.Live() != 3 {
+		t.Fatalf("Live = %d", tlb.Live())
+	}
+	if !tlb.Lookup(1) || !tlb.Lookup(3) || !tlb.Lookup(4) {
+		t.Fatal("recent entries evicted")
+	}
+	if tlb.Lookup(2) {
+		t.Fatal("LRU entry survived")
+	}
+}
+
+func TestTLBFlush(t *testing.T) {
+	tlb := NewTLB(8)
+	for i := uint64(0); i < 8; i++ {
+		tlb.Lookup(i)
+	}
+	tlb.Flush()
+	if tlb.Live() != 0 {
+		t.Fatal("flush left entries")
+	}
+	if _, _, flushes := tlb.Stats(); flushes != 1 {
+		t.Fatal("flush not counted")
+	}
+	if tlb.Lookup(1) {
+		t.Fatal("hit after flush")
+	}
+}
+
+func TestTLBCapacityNeverExceeded(t *testing.T) {
+	tlb := NewTLB(16)
+	for i := uint64(0); i < 1000; i++ {
+		tlb.Lookup(i % 37)
+		if tlb.Live() > 16 {
+			t.Fatalf("TLB grew to %d entries", tlb.Live())
+		}
+	}
+}
+
+func TestTLBZeroSizePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTLB(0) accepted")
+		}
+	}()
+	NewTLB(0)
+}

@@ -1,0 +1,239 @@
+package kernel
+
+import (
+	"testing"
+
+	"itsim/internal/bus"
+	"itsim/internal/mem"
+	"itsim/internal/pagetable"
+	"itsim/internal/storage"
+)
+
+func newKernel(frames int) *Kernel {
+	dev := storage.New(storage.DefaultConfig(), bus.New(0, 0))
+	return New(mem.NewDRAM(frames, mem.ReplaceClock), dev)
+}
+
+func TestAddProcess(t *testing.T) {
+	k := newKernel(16)
+	p := k.AddProcess(1, "wrf", 5)
+	if p.PID != 1 || p.Name != "wrf" || p.Priority != 5 || p.AS == nil {
+		t.Fatalf("process = %+v", p)
+	}
+	if k.Process(1) != p {
+		t.Fatal("Process lookup failed")
+	}
+}
+
+func TestDuplicateProcessPanics(t *testing.T) {
+	k := newKernel(16)
+	k.AddProcess(1, "a", 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate pid accepted")
+		}
+	}()
+	k.AddProcess(1, "b", 2)
+}
+
+func TestUnknownProcessPanics(t *testing.T) {
+	k := newKernel(16)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown pid accepted")
+		}
+	}()
+	k.Process(42)
+}
+
+func TestMapRegion(t *testing.T) {
+	k := newKernel(16)
+	p := k.AddProcess(1, "a", 1)
+	k.MapRegion(1, 0x10000, 10*pagetable.PageSize)
+	if p.AS.MappedPages() != 10 {
+		t.Fatalf("MappedPages = %d, want 10", p.AS.MappedPages())
+	}
+	pte, ok := p.AS.Lookup(0x10000)
+	if !ok || !pte.Swapped() {
+		t.Fatalf("first page: %v ok=%v", pte, ok)
+	}
+	// Distinct slots per page.
+	p0, _ := p.AS.Lookup(0x10000)
+	p1, _ := p.AS.Lookup(0x11000)
+	if p0.Frame() == p1.Frame() {
+		t.Fatal("pages share a swap slot")
+	}
+}
+
+func TestTranslateUnmapped(t *testing.T) {
+	k := newKernel(16)
+	k.AddProcess(1, "a", 1)
+	tr, frame, _ := k.Translate(1, 0xdead000, false)
+	if tr != Unmapped || frame != mem.NoFrame {
+		t.Fatalf("Translate = %v,%v", tr, frame)
+	}
+}
+
+func TestFaultLifecycle(t *testing.T) {
+	k := newKernel(16)
+	p := k.AddProcess(1, "a", 1)
+	k.MapRegion(1, 0, pagetable.PageSize)
+
+	tr, _, _ := k.Translate(1, 0x10, false)
+	if tr != SwappedOut {
+		t.Fatalf("pre-fault Translate = %v, want SwappedOut", tr)
+	}
+	out := k.StartSwapIn(0, 1, 0x10, false)
+	if out.Done <= 0 || out.Evicted {
+		t.Fatalf("outcome = %+v", out)
+	}
+	// Frame pinned until completion.
+	if !k.DRAM().Frame(out.Frame).Pinned {
+		t.Fatal("in-flight frame not pinned")
+	}
+	// Page still not present mid-flight.
+	if tr, _, _ := k.Translate(1, 0x10, false); tr != SwappedOut {
+		t.Fatalf("mid-flight Translate = %v", tr)
+	}
+	k.CompleteSwapIn(1, 0x10, out.Frame)
+	tr, frame, prefHit := k.Translate(1, 0x10, false)
+	if tr != Present || frame != out.Frame || prefHit {
+		t.Fatalf("post-fault Translate = %v,%v,%v", tr, frame, prefHit)
+	}
+	if k.DRAM().Frame(out.Frame).Pinned {
+		t.Fatal("frame still pinned after completion")
+	}
+	if pte, _ := p.AS.Lookup(0); !pte.Present() {
+		t.Fatal("PTE not present after completion")
+	}
+	if k.Stats().MajorFaults != 1 || k.Stats().SwapIns != 1 {
+		t.Fatalf("stats = %+v", k.Stats())
+	}
+}
+
+func TestFirstTouchImplicitlyMaps(t *testing.T) {
+	k := newKernel(16)
+	p := k.AddProcess(1, "a", 1)
+	out := k.StartSwapIn(0, 1, 0x5000, false)
+	k.CompleteSwapIn(1, 0x5000, out.Frame)
+	if k.Stats().FirstTouches != 1 {
+		t.Fatalf("FirstTouches = %d", k.Stats().FirstTouches)
+	}
+	if pte, ok := p.AS.Lookup(0x5000); !ok || !pte.Present() {
+		t.Fatal("first-touched page not present")
+	}
+}
+
+func TestPrefetchedSwapInCountsSeparately(t *testing.T) {
+	k := newKernel(16)
+	k.AddProcess(1, "a", 1)
+	k.MapRegion(1, 0, 2*pagetable.PageSize)
+	out := k.StartSwapIn(0, 1, pagetable.PageSize, true)
+	k.CompleteSwapIn(1, pagetable.PageSize, out.Frame)
+	st := k.Stats()
+	if st.MajorFaults != 0 || st.SwapIns != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// First touch of the prefetched page reports a swap-cache hit.
+	_, _, prefHit := k.Translate(1, pagetable.PageSize, false)
+	if !prefHit {
+		t.Fatal("prefetched page's first touch not reported")
+	}
+	if k.Stats().MinorFaults != 1 {
+		t.Fatalf("MinorFaults = %d", k.Stats().MinorFaults)
+	}
+}
+
+func TestEvictionUnderPressure(t *testing.T) {
+	k := newKernel(2) // two frames only
+	k.AddProcess(1, "a", 1)
+	k.MapRegion(1, 0, 4*pagetable.PageSize)
+	// Fill both frames.
+	for i := uint64(0); i < 2; i++ {
+		out := k.StartSwapIn(0, 1, i*pagetable.PageSize, false)
+		k.CompleteSwapIn(1, i*pagetable.PageSize, out.Frame)
+	}
+	// Third swap-in must evict.
+	out := k.StartSwapIn(0, 1, 2*pagetable.PageSize, false)
+	if !out.Evicted {
+		t.Fatal("no eviction with full DRAM")
+	}
+	if out.EvictedPID != 1 {
+		t.Fatalf("evicted pid = %d", out.EvictedPID)
+	}
+	// The evicted page's PTE is swapped again with a fresh slot.
+	p := k.Process(1)
+	pte, ok := p.AS.Lookup(out.EvictedVA)
+	if !ok || !pte.Swapped() {
+		t.Fatalf("evicted page PTE: %v ok=%v", pte, ok)
+	}
+	if k.Stats().Evictions != 1 {
+		t.Fatalf("stats = %+v", k.Stats())
+	}
+}
+
+func TestDirtyEvictionWritesBack(t *testing.T) {
+	k := newKernel(2)
+	k.AddProcess(1, "a", 1)
+	k.MapRegion(1, 0, 3*pagetable.PageSize)
+	for i := uint64(0); i < 2; i++ {
+		out := k.StartSwapIn(0, 1, i*pagetable.PageSize, false)
+		k.CompleteSwapIn(1, i*pagetable.PageSize, out.Frame)
+	}
+	// Dirty page 0 via a write access.
+	k.Translate(1, 0, true)
+	// Fault in page 2: the victim scan may pick either page; loop until a
+	// dirty one goes.
+	out := k.StartSwapIn(0, 1, 2*pagetable.PageSize, false)
+	if !out.Evicted {
+		t.Fatal("no eviction")
+	}
+	writes := k.Device().Stats().Writes
+	if out.WriteBack && writes == 0 {
+		t.Fatal("write-back reported but no device write")
+	}
+	if !out.WriteBack && out.EvictedVA == 0 {
+		t.Fatal("dirty page evicted without write-back")
+	}
+	if k.Stats().SwapOuts != k.Device().Stats().Writes {
+		t.Fatalf("SwapOuts=%d deviceWrites=%d", k.Stats().SwapOuts, k.Device().Stats().Writes)
+	}
+}
+
+func TestTranslateWriteSetsDirty(t *testing.T) {
+	k := newKernel(4)
+	p := k.AddProcess(1, "a", 1)
+	out := k.StartSwapIn(0, 1, 0, false)
+	k.CompleteSwapIn(1, 0, out.Frame)
+	k.Translate(1, 0, true)
+	pte, _ := p.AS.Lookup(0)
+	if !pte.Dirty() {
+		t.Fatal("PTE dirty bit not set on write")
+	}
+	if !k.DRAM().Frame(out.Frame).Dirty {
+		t.Fatal("frame dirty bit not set on write")
+	}
+}
+
+func TestChargeHandler(t *testing.T) {
+	k := newKernel(4)
+	k.ChargeHandler(FaultEntryCost)
+	k.ChargeHandler(MinorFaultCost)
+	if k.Stats().HandlerTime != FaultEntryCost+MinorFaultCost {
+		t.Fatalf("HandlerTime = %v", k.Stats().HandlerTime)
+	}
+}
+
+func TestResidentPages(t *testing.T) {
+	k := newKernel(8)
+	k.AddProcess(1, "a", 1)
+	k.MapRegion(1, 0, 4*pagetable.PageSize)
+	if k.ResidentPages(1) != 0 {
+		t.Fatal("fresh process has resident pages")
+	}
+	out := k.StartSwapIn(0, 1, 0, false)
+	k.CompleteSwapIn(1, 0, out.Frame)
+	if k.ResidentPages(1) != 1 {
+		t.Fatalf("ResidentPages = %d", k.ResidentPages(1))
+	}
+}

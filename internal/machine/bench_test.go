@@ -1,0 +1,33 @@
+package machine
+
+import (
+	"testing"
+
+	"itsim/internal/policy"
+	"itsim/internal/workload"
+)
+
+// BenchmarkMachineRun measures end-to-end simulation throughput: simulated
+// trace records per second of wall time.
+func BenchmarkMachineRun(b *testing.B) {
+	for _, kind := range []policy.Kind{policy.Sync, policy.ITS} {
+		b.Run(kind.String(), func(b *testing.B) {
+			var records int
+			for i := 0; i < b.N; i++ {
+				batch := workload.Batches()[1]
+				gens := batch.Generators(0.02)
+				specs := make([]ProcessSpec, len(gens))
+				records = 0
+				for j, g := range gens {
+					specs[j] = ProcessSpec{Name: g.Name(), Gen: g, Priority: batch.Priorities[j], BaseVA: workload.BaseVA}
+					records += g.Len()
+				}
+				m := New(testConfig(), policy.New(kind), batch.Name, specs)
+				if _, err := m.Run(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(records), "records/run")
+		})
+	}
+}

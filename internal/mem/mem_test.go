@@ -1,0 +1,229 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDRAM(t *testing.T) {
+	d := NewDRAM(16, ReplaceClock)
+	if d.Capacity() != 16 || d.FreeFrames() != 16 || d.InUseFrames() != 0 {
+		t.Fatalf("fresh pool: cap=%d free=%d inuse=%d", d.Capacity(), d.FreeFrames(), d.InUseFrames())
+	}
+}
+
+func TestNonPositiveCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewDRAM(0) did not panic")
+		}
+	}()
+	NewDRAM(0, ReplaceClock)
+}
+
+func TestAllocateAndRelease(t *testing.T) {
+	d := NewDRAM(2, ReplaceClock)
+	id, ok := d.Allocate(1, 0x1000, false)
+	if !ok {
+		t.Fatal("allocation failed with free frames")
+	}
+	f := d.Frame(id)
+	if f.Owner != 1 || f.VA != 0x1000 || !f.InUse || !f.Referenced || f.Prefetched {
+		t.Fatalf("frame state: %+v", f)
+	}
+	if _, ok := d.Allocate(1, 0x2000, false); !ok {
+		t.Fatal("second allocation failed")
+	}
+	if _, ok := d.Allocate(1, 0x3000, false); ok {
+		t.Fatal("allocation succeeded beyond capacity")
+	}
+	d.Release(id, false)
+	if d.FreeFrames() != 1 {
+		t.Fatalf("FreeFrames = %d after Release", d.FreeFrames())
+	}
+	if _, ok := d.Allocate(2, 0x4000, false); !ok {
+		t.Fatal("allocation failed after Release")
+	}
+}
+
+func TestPrefetchedFrameStartsUnreferenced(t *testing.T) {
+	d := NewDRAM(4, ReplaceClock)
+	id, _ := d.Allocate(1, 0x1000, true)
+	f := d.Frame(id)
+	if f.Referenced || !f.Prefetched {
+		t.Fatalf("prefetched frame: %+v", f)
+	}
+	if !d.Touch(id, false) {
+		t.Fatal("first touch of prefetched frame not reported")
+	}
+	if d.Touch(id, false) {
+		t.Fatal("second touch still reported as prefetched")
+	}
+	if f.Prefetched {
+		t.Fatal("Prefetched not cleared by Touch")
+	}
+}
+
+func TestTouchWriteSetsDirty(t *testing.T) {
+	d := NewDRAM(4, ReplaceClock)
+	id, _ := d.Allocate(1, 0, false)
+	d.Touch(id, true)
+	if !d.Frame(id).Dirty {
+		t.Fatal("write touch did not set Dirty")
+	}
+}
+
+func TestClockSecondChance(t *testing.T) {
+	d := NewDRAM(3, ReplaceClock)
+	a, _ := d.Allocate(1, 0x1000, false)
+	b, _ := d.Allocate(1, 0x2000, false)
+	c, _ := d.Allocate(1, 0x3000, false)
+	// All referenced: first sweep clears bits; second sweep picks frame 0.
+	v := d.PickVictim()
+	if v != a {
+		t.Fatalf("victim = %d, want %d (hand order)", v, a)
+	}
+	// Re-reference b; c and a(bit cleared) are candidates before b.
+	d.Touch(b, false)
+	d.Release(v, true)
+	d2, _ := d.Allocate(2, 0x4000, false)
+	_ = d2
+	v2 := d.PickVictim()
+	if v2 == b {
+		t.Fatal("CLOCK evicted a just-referenced frame ahead of unreferenced ones")
+	}
+	_ = c
+}
+
+func TestPinnedFramesNeverVictims(t *testing.T) {
+	d := NewDRAM(2, ReplaceClock)
+	a, _ := d.Allocate(1, 0x1000, false)
+	b, _ := d.Allocate(1, 0x2000, false)
+	d.Pin(a)
+	for i := 0; i < 10; i++ {
+		if v := d.PickVictim(); v != b {
+			t.Fatalf("victim = %d, want unpinned %d", v, b)
+		}
+	}
+	d.Pin(b)
+	if v := d.PickVictim(); v != NoFrame {
+		t.Fatalf("victim = %d with all pinned, want NoFrame", v)
+	}
+	d.Unpin(a)
+	if v := d.PickVictim(); v != a {
+		t.Fatalf("victim = %d after Unpin, want %d", v, a)
+	}
+}
+
+func TestLRUVictim(t *testing.T) {
+	d := NewDRAM(3, ReplaceLRU)
+	a, _ := d.Allocate(1, 0x1000, false)
+	b, _ := d.Allocate(1, 0x2000, false)
+	c, _ := d.Allocate(1, 0x3000, false)
+	d.Touch(a, false) // a most recent; b is LRU
+	if v := d.PickVictim(); v != b {
+		t.Fatalf("LRU victim = %d, want %d", v, b)
+	}
+	_ = c
+}
+
+func TestLRUPrefersPrefetchedUnused(t *testing.T) {
+	d := NewDRAM(3, ReplaceLRU)
+	d.Allocate(1, 0x1000, false)
+	p, _ := d.Allocate(1, 0x2000, true) // prefetched, never touched
+	d.Allocate(1, 0x3000, false)
+	if v := d.PickVictim(); v != p {
+		t.Fatalf("LRU victim = %d, want prefetched-unused %d", v, p)
+	}
+}
+
+func TestDoubleFreePanics(t *testing.T) {
+	d := NewDRAM(2, ReplaceClock)
+	id, _ := d.Allocate(1, 0, false)
+	d.Release(id, false)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double free did not panic")
+		}
+	}()
+	d.Release(id, false)
+}
+
+func TestEvictionStats(t *testing.T) {
+	d := NewDRAM(2, ReplaceClock)
+	a, _ := d.Allocate(1, 0x1000, false)
+	d.Touch(a, true) // dirty
+	d.Release(a, true)
+	st := d.Stats()
+	if st.Evictions != 1 || st.Writebacks != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	b, _ := d.Allocate(1, 0x2000, false)
+	d.Release(b, false)
+	st = d.Stats()
+	if st.Frees != 1 || st.Evictions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestOwnedFrames(t *testing.T) {
+	d := NewDRAM(8, ReplaceClock)
+	for i := 0; i < 3; i++ {
+		d.Allocate(1, uint64(i)*4096, false)
+	}
+	for i := 0; i < 2; i++ {
+		d.Allocate(2, uint64(i)*4096, false)
+	}
+	if d.OwnedFrames(1) != 3 || d.OwnedFrames(2) != 2 || d.OwnedFrames(3) != 0 {
+		t.Fatalf("OwnedFrames: %d %d %d", d.OwnedFrames(1), d.OwnedFrames(2), d.OwnedFrames(3))
+	}
+}
+
+// Property: the pool conserves frames — free + in-use == capacity — under
+// arbitrary allocate/evict sequences, and PickVictim never returns a free or
+// pinned frame.
+func TestConservationProperty(t *testing.T) {
+	f := func(ops []uint8, lru bool) bool {
+		kind := ReplaceClock
+		if lru {
+			kind = ReplaceLRU
+		}
+		d := NewDRAM(8, kind)
+		var live []FrameID
+		for _, op := range ops {
+			switch op % 3 {
+			case 0, 1:
+				id, ok := d.Allocate(int(op%4), uint64(op)*4096, op%5 == 0)
+				if ok {
+					live = append(live, id)
+				} else {
+					v := d.PickVictim()
+					if v == NoFrame {
+						return false
+					}
+					if !d.Frame(v).InUse || d.Frame(v).Pinned {
+						return false
+					}
+					d.Release(v, true)
+					for i, l := range live {
+						if l == v {
+							live = append(live[:i], live[i+1:]...)
+							break
+						}
+					}
+				}
+			case 2:
+				if len(live) > 0 {
+					d.Touch(live[int(op)%len(live)], op%2 == 0)
+				}
+			}
+			if d.FreeFrames()+d.InUseFrames() != d.Capacity() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

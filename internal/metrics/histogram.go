@@ -1,0 +1,128 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"itsim/internal/sim"
+)
+
+// Histogram accumulates a latency distribution in power-of-two buckets.
+// Runs record per-fault wait times in these so the tail behaviour (queueing
+// behind prefetches, ready-queue delays) is visible, not just the mean.
+type Histogram struct {
+	// bounds[i] is bucket i's inclusive upper bound; one overflow bucket
+	// follows.
+	bounds []sim.Time
+	counts []uint64
+	total  uint64
+	sum    sim.Time
+	max    sim.Time
+}
+
+// NewLatencyHistogram covers 250 ns … 1.024 ms in doubling buckets — the
+// range of interest around the 3 µs device and 7 µs switch constants.
+func NewLatencyHistogram() *Histogram {
+	var bounds []sim.Time
+	for b := 250 * sim.Nanosecond; b <= 1024*sim.Microsecond; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(d sim.Time) {
+	if d < 0 {
+		d = 0
+	}
+	h.total++
+	h.sum += d
+	if d > h.max {
+		h.max = d
+	}
+	for i, b := range h.bounds {
+		if d <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.bounds)]++
+}
+
+// Count returns the number of samples.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Mean returns the average sample, or 0 with no samples.
+func (h *Histogram) Mean() sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	return h.sum / sim.Time(h.total)
+}
+
+// Max returns the largest sample seen.
+func (h *Histogram) Max() sim.Time { return h.max }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() sim.Time { return h.sum }
+
+// Quantile returns an upper bound on the q-quantile (0 < q ≤ 1) using
+// bucket boundaries: the bound of the first bucket at which the cumulative
+// count reaches q·total. Returns Max for the overflow bucket.
+func (h *Histogram) Quantile(q float64) sim.Time {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		q = 0.0001
+	}
+	if q > 1 {
+		q = 1
+	}
+	// Nearest-rank: the smallest k with k ≥ q·total (ceil).
+	target := uint64(q * float64(h.total))
+	if float64(target) < q*float64(h.total) {
+		target++
+	}
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, c := range h.counts {
+		cum += c
+		if cum >= target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max
+		}
+	}
+	return h.max
+}
+
+// String renders non-empty buckets compactly, e.g.
+// "n=42 mean=3.1µs p99<=8µs max=12µs".
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "n=0"
+	}
+	return fmt.Sprintf("n=%d mean=%v p50<=%v p99<=%v max=%v",
+		h.total, h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.max)
+}
+
+// Buckets renders the full distribution, one "≤bound: count" per non-empty
+// bucket, for verbose reports.
+func (h *Histogram) Buckets() string {
+	var parts []string
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if i < len(h.bounds) {
+			parts = append(parts, fmt.Sprintf("≤%v:%d", h.bounds[i], c))
+		} else {
+			parts = append(parts, fmt.Sprintf(">%v:%d", h.bounds[len(h.bounds)-1], c))
+		}
+	}
+	return strings.Join(parts, " ")
+}

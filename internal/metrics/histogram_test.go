@@ -1,0 +1,81 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+
+	"itsim/internal/sim"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewLatencyHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.String() != "n=0" {
+		t.Fatal("empty histogram not empty")
+	}
+	h.Observe(3 * sim.Microsecond)
+	h.Observe(3 * sim.Microsecond)
+	h.Observe(9 * sim.Microsecond)
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d", h.Count())
+	}
+	if h.Mean() != 5*sim.Microsecond {
+		t.Fatalf("Mean = %v", h.Mean())
+	}
+	if h.Max() != 9*sim.Microsecond {
+		t.Fatalf("Max = %v", h.Max())
+	}
+	if h.Sum() != 15*sim.Microsecond {
+		t.Fatalf("Sum = %v", h.Sum())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewLatencyHistogram()
+	// 99 samples at ~1µs, 1 at ~100µs.
+	for i := 0; i < 99; i++ {
+		h.Observe(sim.Microsecond)
+	}
+	h.Observe(100 * sim.Microsecond)
+	p50 := h.Quantile(0.5)
+	if p50 > 2*sim.Microsecond {
+		t.Fatalf("p50 = %v, want ≤ 2µs", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 100*sim.Microsecond {
+		t.Fatalf("p999 = %v, want ≥ 100µs", p999)
+	}
+	// Monotonic in q.
+	if h.Quantile(0.1) > h.Quantile(0.9) {
+		t.Fatal("quantiles not monotonic")
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(10 * sim.Second) // beyond the last bound
+	if h.Quantile(1) != 10*sim.Second {
+		t.Fatalf("overflow quantile = %v", h.Quantile(1))
+	}
+	if !strings.Contains(h.Buckets(), ">") {
+		t.Fatalf("Buckets() missing overflow: %s", h.Buckets())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(-5)
+	if h.Count() != 1 || h.Max() != 0 {
+		t.Fatalf("negative sample mishandled: %+v", h)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewLatencyHistogram()
+	h.Observe(3 * sim.Microsecond)
+	s := h.String()
+	for _, want := range []string{"n=1", "mean=", "p99<="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}

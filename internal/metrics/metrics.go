@@ -1,0 +1,251 @@
+// Package metrics collects the quantities the paper's evaluation reports:
+// total CPU idle time (Fig 4a), page-fault counts (Fig 4b), CPU cache-miss
+// counts (Fig 4c), and per-process finish times split by priority half
+// (Fig 5a/5b), plus supporting detail (prefetch accuracy, pre-execution
+// efficacy, context switches).
+//
+// The paper's definition (§4.2.1): "CPU idle time is the aggregated time of
+// the CPU busy waiting for the response of memory and storage devices during
+// the cache misses and page faults". We therefore accumulate idle time in
+// three buckets: memory stalls (LLC miss service), storage busy-wait
+// (synchronous fault wait not covered by stolen work), and scheduler idle
+// (all processes blocked on asynchronous I/O — still time the CPU spends
+// waiting on storage).
+package metrics
+
+import (
+	"sort"
+
+	"itsim/internal/sim"
+)
+
+// Process accumulates per-process counters.
+type Process struct {
+	PID      int
+	Name     string
+	Priority int
+
+	// FinishTime is the virtual time the process's trace completed.
+	FinishTime sim.Time
+	// Finished reports whether the process ran to completion.
+	Finished bool
+
+	// Instructions is the number of simulated instructions executed
+	// (memory accesses + compute gaps).
+	Instructions uint64
+
+	// CPUTime is wall-clock (virtual) time this process occupied the
+	// CPU while dispatched: compute, cache stalls, fault handling and
+	// synchronous waits. Across a run, ΣCPUTime + context-switch time +
+	// scheduler idle == makespan (the machine's conservation invariant).
+	CPUTime sim.Time
+
+	// MajorFaults / MinorFaults count page faults (major = storage I/O).
+	MajorFaults uint64
+	MinorFaults uint64
+
+	// LLCAccesses / LLCMisses count last-level-cache activity attributed
+	// to this process's real (non-pre-execute) accesses.
+	LLCAccesses uint64
+	LLCMisses   uint64
+
+	// MemStall is CPU time spent waiting on DRAM after LLC misses.
+	MemStall sim.Time
+	// StorageWait is CPU busy-wait time during this process's synchronous
+	// major faults: the whole window from DMA start to completion. Time
+	// ITS steals from the window for prefetching/pre-execution is still
+	// part of the window (the CPU is occupied by the wait either way; the
+	// stolen work's payoff shows up as fewer future faults and misses).
+	StorageWait sim.Time
+	// BlockedWait is a diagnostic for asynchronous faults: time from
+	// blocking to next dispatch (I/O plus ready-queue wait). It is NOT
+	// part of IdleTime — the CPU ran other processes meanwhile; the CPU
+	// cost of asynchrony is counted globally as context-switch time and
+	// scheduler idle.
+	BlockedWait sim.Time
+	// StolenPrefetch / StolenPreexec is busy-wait time the ITS /
+	// runahead machinery converted into useful work.
+	StolenPrefetch sim.Time
+	StolenPreexec  sim.Time
+	// RecoveryOverhead is state-recovery checkpoint/restore time.
+	RecoveryOverhead sim.Time
+
+	// ContextSwitches counts switches charged to this process's faults
+	// and slice expiries.
+	ContextSwitches uint64
+
+	// PrefetchIssued / PrefetchUseful count prefetched pages and those
+	// later touched before eviction. PrefetchDropped counts candidates
+	// rejected by device admission control (channel busy).
+	PrefetchIssued  uint64
+	PrefetchUseful  uint64
+	PrefetchDropped uint64
+
+	// PreexecInstrs / PreexecValid / PreexecFills count pre-executed
+	// instructions, the valid subset, and LLC lines warmed by them.
+	PreexecInstrs uint64
+	PreexecValid  uint64
+	PreexecFills  uint64
+}
+
+// IdleTime returns the process-attributed idle time (memory stalls plus
+// un-stolen storage busy-wait).
+func (p *Process) IdleTime() sim.Time { return p.MemStall + p.StorageWait }
+
+// Run aggregates one simulation run (one batch under one policy).
+type Run struct {
+	Policy string
+	Batch  string
+
+	Procs []*Process
+
+	// Makespan is the finish time of the last process.
+	Makespan sim.Time
+	// SchedulerIdle is CPU time with no runnable process (every process
+	// blocked on asynchronous I/O) — the CPU is waiting on storage.
+	SchedulerIdle sim.Time
+	// ContextSwitchTime is total time spent performing context switches.
+	ContextSwitchTime sim.Time
+	// FaultHandlerTime is kernel time in the page-fault handler.
+	FaultHandlerTime sim.Time
+	// SyncWaitHist is the distribution of synchronous fault windows.
+	SyncWaitHist *Histogram
+	// BlockedHist is the distribution of asynchronous block→dispatch
+	// waits.
+	BlockedHist *Histogram
+}
+
+// NewRun creates an empty run record.
+func NewRun(policy, batch string) *Run {
+	return &Run{
+		Policy:       policy,
+		Batch:        batch,
+		SyncWaitHist: NewLatencyHistogram(),
+		BlockedHist:  NewLatencyHistogram(),
+	}
+}
+
+// AddProcess registers a process record and returns it.
+func (r *Run) AddProcess(pid int, name string, priority int) *Process {
+	p := &Process{PID: pid, Name: name, Priority: priority}
+	r.Procs = append(r.Procs, p)
+	return p
+}
+
+// TotalIdle is the paper's Fig 4a quantity ("Total CPU Waiting Time"): the
+// aggregated time the CPU makes no process progress because of memory and
+// storage — per-process memory stalls and synchronous busy-wait windows,
+// plus the globally wasted time of asynchrony: context switching (pure
+// state movement, no progress) and scheduler idle (every process blocked on
+// storage).
+func (r *Run) TotalIdle() sim.Time {
+	t := r.SchedulerIdle + r.ContextSwitchTime
+	for _, p := range r.Procs {
+		t += p.IdleTime()
+	}
+	return t
+}
+
+// TotalMajorFaults is the Fig 4b quantity.
+func (r *Run) TotalMajorFaults() uint64 {
+	var n uint64
+	for _, p := range r.Procs {
+		n += p.MajorFaults
+	}
+	return n
+}
+
+// TotalMinorFaults sums minor faults.
+func (r *Run) TotalMinorFaults() uint64 {
+	var n uint64
+	for _, p := range r.Procs {
+		n += p.MinorFaults
+	}
+	return n
+}
+
+// TotalLLCMisses is the Fig 4c quantity.
+func (r *Run) TotalLLCMisses() uint64 {
+	var n uint64
+	for _, p := range r.Procs {
+		n += p.LLCMisses
+	}
+	return n
+}
+
+// TotalContextSwitches sums context switches.
+func (r *Run) TotalContextSwitches() uint64 {
+	var n uint64
+	for _, p := range r.Procs {
+		n += p.ContextSwitches
+	}
+	return n
+}
+
+// TotalStolen returns the busy-wait time converted to useful work.
+func (r *Run) TotalStolen() sim.Time {
+	var t sim.Time
+	for _, p := range r.Procs {
+		t += p.StolenPrefetch + p.StolenPreexec
+	}
+	return t
+}
+
+// byPriority sorts descending by priority, ties broken by pid for
+// determinism.
+func (r *Run) byPriority() []*Process {
+	out := make([]*Process, len(r.Procs))
+	copy(out, r.Procs)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Priority != out[j].Priority {
+			return out[i].Priority > out[j].Priority
+		}
+		return out[i].PID < out[j].PID
+	})
+	return out
+}
+
+// TopHalfAvgFinish is Fig 5a: the mean finish time of the top-50 %-priority
+// processes.
+func (r *Run) TopHalfAvgFinish() sim.Time {
+	s := r.byPriority()
+	half := len(s) / 2
+	if half == 0 {
+		half = len(s)
+	}
+	return avgFinish(s[:half])
+}
+
+// BottomHalfAvgFinish is Fig 5b: the mean finish time of the bottom-50 %.
+func (r *Run) BottomHalfAvgFinish() sim.Time {
+	s := r.byPriority()
+	half := len(s) / 2
+	return avgFinish(s[half:])
+}
+
+// AvgFinish is the mean finish time over all processes.
+func (r *Run) AvgFinish() sim.Time { return avgFinish(r.Procs) }
+
+func avgFinish(ps []*Process) sim.Time {
+	if len(ps) == 0 {
+		return 0
+	}
+	var t sim.Time
+	for _, p := range ps {
+		t += p.FinishTime
+	}
+	return t / sim.Time(len(ps))
+}
+
+// PrefetchAccuracy returns useful/issued prefetches over the run, or 0.
+func (r *Run) PrefetchAccuracy() float64 {
+	var issued, useful uint64
+	for _, p := range r.Procs {
+		issued += p.PrefetchIssued
+		useful += p.PrefetchUseful
+	}
+	if issued == 0 {
+		return 0
+	}
+	return float64(useful) / float64(issued)
+}

@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"testing"
+
+	"itsim/internal/sim"
+)
+
+func sampleRun() *Run {
+	r := NewRun("ITS", "test_batch")
+	specs := []struct {
+		pid, prio  int
+		finish     sim.Time
+		major      uint64
+		misses     uint64
+		mem, store sim.Time
+	}{
+		{0, 6, 10 * sim.Millisecond, 100, 1000, sim.Millisecond, 2 * sim.Millisecond},
+		{1, 5, 20 * sim.Millisecond, 200, 2000, sim.Millisecond, sim.Millisecond},
+		{2, 4, 30 * sim.Millisecond, 300, 3000, sim.Millisecond, 0},
+		{3, 3, 40 * sim.Millisecond, 400, 4000, 0, sim.Millisecond},
+		{4, 2, 50 * sim.Millisecond, 500, 5000, 0, 0},
+		{5, 1, 60 * sim.Millisecond, 600, 6000, sim.Millisecond, sim.Millisecond},
+	}
+	for _, s := range specs {
+		p := r.AddProcess(s.pid, "w", s.prio)
+		p.FinishTime = s.finish
+		p.Finished = true
+		p.MajorFaults = s.major
+		p.LLCMisses = s.misses
+		p.MemStall = s.mem
+		p.StorageWait = s.store
+	}
+	r.Makespan = 60 * sim.Millisecond
+	return r
+}
+
+func TestTotals(t *testing.T) {
+	r := sampleRun()
+	if r.TotalMajorFaults() != 2100 {
+		t.Fatalf("TotalMajorFaults = %d", r.TotalMajorFaults())
+	}
+	if r.TotalLLCMisses() != 21000 {
+		t.Fatalf("TotalLLCMisses = %d", r.TotalLLCMisses())
+	}
+	wantIdle := 4*sim.Millisecond + 5*sim.Millisecond
+	if r.TotalIdle() != wantIdle {
+		t.Fatalf("TotalIdle = %v, want %v", r.TotalIdle(), wantIdle)
+	}
+}
+
+func TestIdleIncludesGlobalWaste(t *testing.T) {
+	r := sampleRun()
+	base := r.TotalIdle()
+	r.SchedulerIdle = 3 * sim.Millisecond
+	r.ContextSwitchTime = 2 * sim.Millisecond
+	if got := r.TotalIdle(); got != base+5*sim.Millisecond {
+		t.Fatalf("TotalIdle = %v, want %v", got, base+5*sim.Millisecond)
+	}
+}
+
+func TestHalfSplits(t *testing.T) {
+	r := sampleRun()
+	// Top half by priority: pids 0,1,2 → finishes 10,20,30 → avg 20ms.
+	if got := r.TopHalfAvgFinish(); got != 20*sim.Millisecond {
+		t.Fatalf("TopHalfAvgFinish = %v", got)
+	}
+	// Bottom half: 40,50,60 → 50ms.
+	if got := r.BottomHalfAvgFinish(); got != 50*sim.Millisecond {
+		t.Fatalf("BottomHalfAvgFinish = %v", got)
+	}
+	if got := r.AvgFinish(); got != 35*sim.Millisecond {
+		t.Fatalf("AvgFinish = %v", got)
+	}
+}
+
+func TestHalfSplitTieBreakByPID(t *testing.T) {
+	r := NewRun("Sync", "b")
+	a := r.AddProcess(0, "a", 3)
+	b := r.AddProcess(1, "b", 3)
+	a.FinishTime = 10
+	b.FinishTime = 30
+	// Equal priorities: pid 0 goes to the top half deterministically.
+	if got := r.TopHalfAvgFinish(); got != 10 {
+		t.Fatalf("TopHalfAvgFinish = %v", got)
+	}
+	if got := r.BottomHalfAvgFinish(); got != 30 {
+		t.Fatalf("BottomHalfAvgFinish = %v", got)
+	}
+}
+
+func TestEmptyRun(t *testing.T) {
+	r := NewRun("Sync", "empty")
+	if r.TotalIdle() != 0 || r.AvgFinish() != 0 || r.TopHalfAvgFinish() != 0 || r.BottomHalfAvgFinish() != 0 {
+		t.Fatal("empty run non-zero aggregates")
+	}
+	if r.PrefetchAccuracy() != 0 {
+		t.Fatal("empty run prefetch accuracy non-zero")
+	}
+}
+
+func TestSingleProcessHalves(t *testing.T) {
+	r := NewRun("Sync", "one")
+	p := r.AddProcess(0, "w", 1)
+	p.FinishTime = 42
+	if r.TopHalfAvgFinish() != 42 {
+		t.Fatalf("single-process top half = %v", r.TopHalfAvgFinish())
+	}
+}
+
+func TestPrefetchAccuracy(t *testing.T) {
+	r := NewRun("ITS", "b")
+	p := r.AddProcess(0, "w", 1)
+	p.PrefetchIssued = 100
+	p.PrefetchUseful = 80
+	q := r.AddProcess(1, "x", 2)
+	q.PrefetchIssued = 100
+	q.PrefetchUseful = 40
+	if got := r.PrefetchAccuracy(); got != 0.6 {
+		t.Fatalf("PrefetchAccuracy = %v, want 0.6", got)
+	}
+}
+
+func TestStolenAndSwitches(t *testing.T) {
+	r := NewRun("ITS", "b")
+	p := r.AddProcess(0, "w", 1)
+	p.StolenPrefetch = sim.Microsecond
+	p.StolenPreexec = 2 * sim.Microsecond
+	p.ContextSwitches = 3
+	q := r.AddProcess(1, "x", 2)
+	q.ContextSwitches = 4
+	if r.TotalStolen() != 3*sim.Microsecond {
+		t.Fatalf("TotalStolen = %v", r.TotalStolen())
+	}
+	if r.TotalContextSwitches() != 7 {
+		t.Fatalf("TotalContextSwitches = %d", r.TotalContextSwitches())
+	}
+}
+
+func TestProcessIdleTime(t *testing.T) {
+	p := &Process{MemStall: 5, StorageWait: 7, BlockedWait: 100}
+	if p.IdleTime() != 12 {
+		t.Fatalf("IdleTime = %v, want 12 (BlockedWait excluded)", p.IdleTime())
+	}
+}
+
+func TestMinorFaultTotals(t *testing.T) {
+	r := NewRun("ITS", "b")
+	r.AddProcess(0, "w", 1).MinorFaults = 5
+	r.AddProcess(1, "x", 2).MinorFaults = 7
+	if r.TotalMinorFaults() != 12 {
+		t.Fatalf("TotalMinorFaults = %d", r.TotalMinorFaults())
+	}
+}

@@ -1,0 +1,37 @@
+package pagetable
+
+import "testing"
+
+func benchSpace(pages int) *AddressSpace {
+	a := New()
+	for i := 0; i < pages; i++ {
+		a.MapSwapped(uint64(i)*PageSize, uint64(i))
+	}
+	return a
+}
+
+func BenchmarkWalk(b *testing.B) {
+	a := benchSpace(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.Walk(uint64(i%4096) * PageSize)
+	}
+}
+
+func BenchmarkMakePresentSwapped(b *testing.B) {
+	a := benchSpace(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		va := uint64(i%4096) * PageSize
+		a.MakePresent(va, uint64(i))
+		a.MakeSwapped(va, uint64(i))
+	}
+}
+
+func BenchmarkVisitFrom(b *testing.B) {
+	a := benchSpace(8192)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.VisitFrom(uint64(i%4096)*PageSize, 8, func(WalkStep) bool { return true })
+	}
+}

@@ -1,0 +1,122 @@
+package pagetable
+
+import "testing"
+
+func TestMapHugeAndLookup(t *testing.T) {
+	a := New()
+	base := uint64(4 << 20) // 2 MiB aligned
+	a.MapHuge(base+12345, FlagPresent.WithFrame(77))
+	// Any base address inside the region resolves to the huge PTE.
+	for _, va := range []uint64{base, base + PageSize, base + HugePageSize - 1} {
+		pte, levels, ok := a.Walk(va)
+		if !ok || !pte.Huge() || !pte.Present() || pte.Frame() != 77 {
+			t.Fatalf("Walk(%#x) = %v,%d,%v", va, pte, levels, ok)
+		}
+		if levels != 3 {
+			t.Fatalf("huge walk took %d levels, want 3 (ends at PMD)", levels)
+		}
+	}
+	// Outside the region: unmapped.
+	if _, ok := a.Lookup(base + HugePageSize); ok {
+		t.Fatal("huge mapping leaked past its region")
+	}
+	if _, ok := a.Lookup(base - 1); ok {
+		t.Fatal("huge mapping leaked before its region")
+	}
+	hp, ok := a.LookupHuge(base + 999)
+	if !ok || hp.Frame() != 77 {
+		t.Fatalf("LookupHuge = %v, %v", hp, ok)
+	}
+}
+
+func TestMapHugeCounters(t *testing.T) {
+	a := New()
+	a.MapHuge(0, FlagPresent.WithFrame(1))
+	if a.MappedPages() != EntriesPerTable || a.PresentPages() != EntriesPerTable {
+		t.Fatalf("counters %d/%d, want 512/512", a.MappedPages(), a.PresentPages())
+	}
+	a.MapHuge(HugePageSize, FlagSwapped.WithFrame(2))
+	if a.MappedPages() != 2*EntriesPerTable || a.PresentPages() != EntriesPerTable {
+		t.Fatalf("counters %d/%d after swapped huge", a.MappedPages(), a.PresentPages())
+	}
+	// Remapping the same region does not double count.
+	a.MapHuge(HugePageSize+5, FlagPresent.WithFrame(3))
+	if a.MappedPages() != 2*EntriesPerTable || a.PresentPages() != 2*EntriesPerTable {
+		t.Fatalf("counters %d/%d after remap", a.MappedPages(), a.PresentPages())
+	}
+}
+
+func TestSplitHuge(t *testing.T) {
+	a := New()
+	base := uint64(2 << 20)
+	a.MapHuge(base, FlagPresent.WithFrame(1000))
+	ok := a.SplitHuge(base+777, func(i int) PTE {
+		return FlagPresent.WithFrame(uint64(2000 + i))
+	})
+	if !ok {
+		t.Fatal("SplitHuge missed the mapping")
+	}
+	// Counters unchanged: 512 present pages before and after.
+	if a.PresentPages() != EntriesPerTable || a.MappedPages() != EntriesPerTable {
+		t.Fatalf("counters %d/%d after split", a.PresentPages(), a.MappedPages())
+	}
+	// Base pages resolve individually now, via a full 4-level walk.
+	pte, levels, ok := a.Walk(base + 5*PageSize)
+	if !ok || levels != Levels || pte.Huge() || pte.Frame() != 2005 {
+		t.Fatalf("post-split walk = %v,%d,%v", pte, levels, ok)
+	}
+	// Splitting again reports no huge mapping.
+	if a.SplitHuge(base, func(int) PTE { return 0 }) {
+		t.Fatal("second split succeeded")
+	}
+}
+
+func TestMapHugeOverBasePagesPanics(t *testing.T) {
+	a := New()
+	a.MapSwapped(0x1000, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MapHuge over base pages accepted")
+		}
+	}()
+	a.MapHuge(0, FlagPresent.WithFrame(1))
+}
+
+func TestBaseAccessUnderHugePanics(t *testing.T) {
+	a := New()
+	a.MapHuge(0, FlagPresent.WithFrame(1))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("base-page Set under huge mapping accepted")
+		}
+	}()
+	a.MapSwapped(0x3000, 9)
+}
+
+func TestVisitFromCoversHugeMappingInOneStep(t *testing.T) {
+	a := New()
+	// Layout: one base page, then a huge region, then another base page.
+	a.MapSwapped(HugePageSize-PageSize, 1)
+	a.MapHuge(HugePageSize, FlagSwapped.WithFrame(42))
+	a.MapSwapped(2*HugePageSize, 2)
+	var steps []WalkStep
+	visited, _ := a.VisitFrom(HugePageSize-PageSize, 600, func(s WalkStep) bool {
+		if s.PTE.Mapped() {
+			steps = append(steps, s)
+		}
+		return len(steps) < 3
+	})
+	if len(steps) != 3 {
+		t.Fatalf("visited %d mapped steps (total %d): %+v", len(steps), visited, steps)
+	}
+	if !steps[1].PTE.Huge() || steps[1].VA != HugePageSize {
+		t.Fatalf("huge step = %+v", steps[1])
+	}
+	if steps[2].VA != 2*HugePageSize {
+		t.Fatalf("walker did not jump the huge region: %+v", steps[2])
+	}
+	// The 2 MiB region cost one visit, not 512.
+	if visited > 520 {
+		t.Fatalf("visited %d steps; huge region not skipped as a unit", visited)
+	}
+}

@@ -1,0 +1,305 @@
+package pagetable
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPTEBits(t *testing.T) {
+	var p PTE
+	if p.Mapped() || p.Present() || p.Swapped() || p.Dirty() || p.INV() {
+		t.Fatal("zero PTE has bits set")
+	}
+	p = FlagPresent | FlagDirty
+	if !p.Present() || !p.Dirty() || p.Swapped() {
+		t.Fatal("flag accessors wrong")
+	}
+	p = p.WithFrame(0x12345)
+	if p.Frame() != 0x12345 {
+		t.Fatalf("Frame = %#x, want 0x12345", p.Frame())
+	}
+	if !p.Present() || !p.Dirty() {
+		t.Fatal("WithFrame clobbered flags")
+	}
+	p = p.WithFrame(0x7)
+	if p.Frame() != 0x7 {
+		t.Fatalf("frame replacement failed: %#x", p.Frame())
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(frame uint64, flags uint8) bool {
+		frame &= (1 << (VABits - PageShift)) - 1
+		p := PTE(flags & 0x1F).WithFrame(frame)
+		return p.Frame() == frame
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetAndLookup(t *testing.T) {
+	a := New()
+	const va = uint64(0x1234_5000)
+	if _, ok := a.Lookup(va); ok {
+		t.Fatal("lookup on empty space succeeded")
+	}
+	a.MapSwapped(va, 99)
+	pte, ok := a.Lookup(va)
+	if !ok || !pte.Swapped() || pte.Frame() != 99 {
+		t.Fatalf("after MapSwapped: %v ok=%v", pte, ok)
+	}
+	if a.MappedPages() != 1 || a.PresentPages() != 0 {
+		t.Fatalf("counters: mapped=%d present=%d", a.MappedPages(), a.PresentPages())
+	}
+}
+
+func TestMakePresentAndSwapped(t *testing.T) {
+	a := New()
+	const va = uint64(0x4000_0000)
+	a.MapSwapped(va, 7)
+	prev := a.MakePresent(va, 42)
+	if !prev.Swapped() || prev.Frame() != 7 {
+		t.Fatalf("MakePresent returned prev %v", prev)
+	}
+	pte, _ := a.Lookup(va)
+	if !pte.Present() || pte.Swapped() || pte.Frame() != 42 || !pte.Accessed() {
+		t.Fatalf("after MakePresent: %v", pte)
+	}
+	if a.PresentPages() != 1 {
+		t.Fatalf("PresentPages = %d", a.PresentPages())
+	}
+	prev = a.MakeSwapped(va, 8)
+	if !prev.Present() || prev.Frame() != 42 {
+		t.Fatalf("MakeSwapped returned prev %v", prev)
+	}
+	pte, _ = a.Lookup(va)
+	if !pte.Swapped() || pte.Present() || pte.Frame() != 8 || pte.Dirty() || pte.INV() {
+		t.Fatalf("after MakeSwapped: %v", pte)
+	}
+	if a.PresentPages() != 0 || a.MappedPages() != 1 {
+		t.Fatalf("counters after swap-out: present=%d mapped=%d", a.PresentPages(), a.MappedPages())
+	}
+}
+
+func TestMakePresentPreservesINV(t *testing.T) {
+	a := New()
+	const va = uint64(0x1000)
+	a.MapSwapped(va, 1)
+	a.Update(va, func(p PTE) PTE { return p | FlagINV })
+	a.MakePresent(va, 5)
+	pte, _ := a.Lookup(va)
+	if !pte.INV() {
+		t.Fatal("MakePresent cleared INV")
+	}
+	// Eviction clears INV (fresh copy comes from storage next time).
+	a.MakeSwapped(va, 2)
+	pte, _ = a.Lookup(va)
+	if pte.INV() {
+		t.Fatal("MakeSwapped kept INV")
+	}
+}
+
+func TestUnmapViaSetZero(t *testing.T) {
+	a := New()
+	a.MapSwapped(0x2000, 3)
+	a.Set(0x2000, 0)
+	if _, ok := a.Lookup(0x2000); ok {
+		t.Fatal("zero PTE still mapped")
+	}
+	if a.MappedPages() != 0 {
+		t.Fatalf("MappedPages = %d", a.MappedPages())
+	}
+}
+
+func TestWalkLevels(t *testing.T) {
+	a := New()
+	// Absent at PGD level: 1 level traversed.
+	if _, levels, ok := a.Walk(0xdead_beef_000); ok || levels != 1 {
+		t.Fatalf("empty walk: levels=%d ok=%v", levels, ok)
+	}
+	a.MapSwapped(0xdead_beef_000, 1)
+	pte, levels, ok := a.Walk(0xdead_beef_000)
+	if !ok || levels != Levels || !pte.Swapped() {
+		t.Fatalf("full walk: levels=%d ok=%v pte=%v", levels, ok, pte)
+	}
+}
+
+func TestDistinctVAsDoNotCollide(t *testing.T) {
+	a := New()
+	// VAs differing only at each level's index bits.
+	vas := []uint64{
+		0x0000_0000_1000,
+		0x0000_0020_1000, // different PT... actually different PMD index
+		0x0000_4000_1000,
+		0x0080_0000_1000,
+		0x8000_0000_1000,
+	}
+	for i, va := range vas {
+		a.MapSwapped(va, uint64(100+i))
+	}
+	for i, va := range vas {
+		pte, ok := a.Lookup(va)
+		if !ok || pte.Frame() != uint64(100+i) {
+			t.Fatalf("va %#x: pte=%v ok=%v", va, pte, ok)
+		}
+	}
+	if a.MappedPages() != len(vas) {
+		t.Fatalf("MappedPages = %d, want %d", a.MappedPages(), len(vas))
+	}
+}
+
+func TestTablesAllocatedLazily(t *testing.T) {
+	a := New()
+	if a.TablesAllocated() != 1 {
+		t.Fatalf("fresh space has %d tables, want 1 (PGD)", a.TablesAllocated())
+	}
+	a.MapSwapped(0x1000, 1)
+	if a.TablesAllocated() != 4 {
+		t.Fatalf("one mapping allocated %d tables, want 4", a.TablesAllocated())
+	}
+	a.MapSwapped(0x2000, 2) // same PT
+	if a.TablesAllocated() != 4 {
+		t.Fatalf("same-PT mapping allocated extra tables: %d", a.TablesAllocated())
+	}
+	a.MapSwapped(1<<30, 3) // different PUD subtree
+	if a.TablesAllocated() != 6 {
+		t.Fatalf("cross-PUD mapping: %d tables, want 6", a.TablesAllocated())
+	}
+}
+
+func TestVisitFromAscending(t *testing.T) {
+	a := New()
+	base := uint64(0x10_0000)
+	for i := uint64(0); i < 20; i++ {
+		a.MapSwapped(base+i*PageSize, i)
+	}
+	var got []uint64
+	visited, tables := a.VisitFrom(base, 20, func(s WalkStep) bool {
+		got = append(got, s.VA)
+		return true
+	})
+	if visited != 20 || tables < 2 {
+		t.Fatalf("visited=%d tables=%d", visited, tables)
+	}
+	for i, va := range got {
+		if va != base+uint64(i)*PageSize {
+			t.Fatalf("step %d = %#x, want %#x", i, va, base+uint64(i)*PageSize)
+		}
+	}
+}
+
+func TestVisitFromStopsOnFalse(t *testing.T) {
+	a := New()
+	base := uint64(0x10_0000)
+	for i := uint64(0); i < 10; i++ {
+		a.MapSwapped(base+i*PageSize, i)
+	}
+	count := 0
+	visited, _ := a.VisitFrom(base, 100, func(WalkStep) bool {
+		count++
+		return count < 3
+	})
+	if visited != 3 || count != 3 {
+		t.Fatalf("visited=%d count=%d, want 3", visited, count)
+	}
+}
+
+func TestVisitFromCrossesPTBoundary(t *testing.T) {
+	a := New()
+	// Map pages straddling a 2 MiB (PT table) boundary.
+	boundary := uint64(2 << 20)
+	a.MapSwapped(boundary-PageSize, 1)
+	a.MapSwapped(boundary, 2)
+	a.MapSwapped(boundary+PageSize, 3)
+	var got []uint64
+	a.VisitFrom(boundary-PageSize, 3, func(s WalkStep) bool {
+		if s.PTE.Mapped() {
+			got = append(got, s.VA)
+		}
+		return true
+	})
+	if len(got) != 3 {
+		t.Fatalf("crossed-boundary visit got %d mapped pages, want 3: %#v", len(got), got)
+	}
+}
+
+func TestVisitFromSkipsHoles(t *testing.T) {
+	a := New()
+	// Two mapped clusters separated by a 1 GiB hole.
+	lo := uint64(0x10_0000)
+	hi := lo + (1 << 30)
+	a.MapSwapped(lo, 1)
+	a.MapSwapped(hi, 2)
+	var got []uint64
+	// The walker scans the remaining entries of lo's leaf table one PTE at
+	// a time (the paper's pte_offset() loop), then hops absent subtrees
+	// structurally. Reaching hi therefore takes < ~600 visits, not the
+	// 262144 a page-wise walk of the 1 GiB hole would need.
+	visited, _ := a.VisitFrom(lo, 2000, func(s WalkStep) bool {
+		if s.PTE.Mapped() {
+			got = append(got, s.VA)
+		}
+		return len(got) < 2
+	})
+	if len(got) != 2 {
+		t.Fatalf("hole skip failed: got %v (visited %d)", got, visited)
+	}
+	if got[0] != lo || got[1] != hi {
+		t.Fatalf("wrong pages: %#v", got)
+	}
+	if visited > 1100 {
+		t.Fatalf("visited %d pages; hole not skipped table-wise", visited)
+	}
+}
+
+func TestVisitFromRespectsMaxPages(t *testing.T) {
+	a := New()
+	base := uint64(0)
+	for i := uint64(0); i < 600; i++ {
+		a.MapSwapped(base+i*PageSize, i)
+	}
+	visited, _ := a.VisitFrom(base, 100, func(WalkStep) bool { return true })
+	if visited != 100 {
+		t.Fatalf("visited = %d, want 100", visited)
+	}
+}
+
+func TestCountersProperty(t *testing.T) {
+	// Property: present ≤ mapped, and both match the set of operations.
+	f := func(ops []uint16) bool {
+		a := New()
+		state := map[uint64]int{} // 0 unmapped, 1 swapped, 2 present
+		for _, op := range ops {
+			va := uint64(op%64) * PageSize
+			switch op % 3 {
+			case 0:
+				a.MapSwapped(va, uint64(op))
+				state[va] = 1
+			case 1:
+				if state[va] != 0 {
+					a.MakePresent(va, uint64(op%1024))
+					state[va] = 2
+				}
+			case 2:
+				if state[va] == 2 {
+					a.MakeSwapped(va, uint64(op))
+					state[va] = 1
+				}
+			}
+		}
+		mapped, present := 0, 0
+		for _, s := range state {
+			if s > 0 {
+				mapped++
+			}
+			if s == 2 {
+				present++
+			}
+		}
+		return a.MappedPages() == mapped && a.PresentPages() == present
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

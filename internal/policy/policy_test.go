@@ -1,0 +1,236 @@
+package policy
+
+import (
+	"testing"
+
+	"itsim/internal/pagetable"
+	"itsim/internal/sim"
+)
+
+func swappedSpace(pages int) *pagetable.AddressSpace {
+	as := pagetable.New()
+	for i := 0; i < pages; i++ {
+		as.MapSwapped(uint64(i)*pagetable.PageSize, uint64(i))
+	}
+	return as
+}
+
+func ctx(as *pagetable.AddressSpace, cur, next int, hasNext bool) *Context {
+	return &Context{
+		PID: 1, VA: 0,
+		AS:           as,
+		CurPriority:  cur,
+		NextPriority: next,
+		HasNext:      hasNext,
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		Async:        "Async",
+		Sync:         "Sync",
+		SyncRunahead: "Sync_Runahead",
+		SyncPrefetch: "Sync_Prefetch",
+		ITS:          "ITS",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(k), k.String(), s)
+		}
+		back, err := KindByName(s)
+		if err != nil || back != k {
+			t.Errorf("KindByName(%q) = %v, %v", s, back, err)
+		}
+	}
+	if _, err := KindByName("bogus"); err == nil {
+		t.Fatal("bogus policy name accepted")
+	}
+}
+
+func TestKindsOrderAndCount(t *testing.T) {
+	ks := Kinds()
+	if len(ks) != 5 {
+		t.Fatalf("Kinds() has %d entries", len(ks))
+	}
+	if ks[0] != Async || ks[4] != ITS {
+		t.Fatalf("Kinds order wrong: %v", ks)
+	}
+}
+
+func TestNeedsPreExecCache(t *testing.T) {
+	if Async.NeedsPreExecCache() || Sync.NeedsPreExecCache() || SyncPrefetch.NeedsPreExecCache() {
+		t.Fatal("non-runahead policy wants a pre-execute cache")
+	}
+	if !SyncRunahead.NeedsPreExecCache() || !ITS.NeedsPreExecCache() {
+		t.Fatal("runahead policies must halve the LLC")
+	}
+}
+
+func TestAsyncDecision(t *testing.T) {
+	p := New(Async)
+	d := p.Decide(ctx(swappedSpace(4), 1, 2, true))
+	if d.Mode != AsyncBlock || d.PreExecute || len(d.Prefetch) != 0 {
+		t.Fatalf("Async decision: %+v", d)
+	}
+}
+
+func TestSyncDecision(t *testing.T) {
+	d := New(Sync).Decide(ctx(swappedSpace(4), 1, 2, true))
+	if d.Mode != SyncWait || d.PreExecute || len(d.Prefetch) != 0 {
+		t.Fatalf("Sync decision: %+v", d)
+	}
+}
+
+func TestRunaheadDecision(t *testing.T) {
+	d := New(SyncRunahead).Decide(ctx(swappedSpace(4), 1, 2, true))
+	if d.Mode != SyncWait || !d.PreExecute || len(d.Prefetch) != 0 {
+		t.Fatalf("Runahead decision: %+v", d)
+	}
+}
+
+func TestPrefetchDecision(t *testing.T) {
+	d := New(SyncPrefetch).Decide(ctx(swappedSpace(16), 1, 2, true))
+	if d.Mode != SyncWait || d.PreExecute {
+		t.Fatalf("Prefetch decision: %+v", d)
+	}
+	if len(d.Prefetch) == 0 || d.PrefetchWalkCost <= 0 {
+		t.Fatalf("page-on-page produced no candidates: %+v", d)
+	}
+}
+
+func TestITSHighPriority(t *testing.T) {
+	p := New(ITS)
+	// Current priority above next-to-run: self-improving thread.
+	d := p.Decide(ctx(swappedSpace(32), 5, 2, true))
+	if d.Mode != SyncWait || !d.PreExecute || d.SelfSacrificing {
+		t.Fatalf("high-priority decision: %+v", d)
+	}
+	if len(d.Prefetch) == 0 {
+		t.Fatal("self-improving thread did not prefetch")
+	}
+	if d.DispatchCost <= 0 {
+		t.Fatal("ITS thread dispatch cost missing")
+	}
+}
+
+func TestITSLowPriority(t *testing.T) {
+	p := New(ITS)
+	d := p.Decide(ctx(swappedSpace(32), 2, 5, true))
+	if d.Mode != AsyncBlock || !d.SelfSacrificing {
+		t.Fatalf("low-priority decision: %+v", d)
+	}
+	// The self-sacrificing thread still initiates prefetch.
+	if len(d.Prefetch) == 0 {
+		t.Fatal("sacrificed fault lost prefetching")
+	}
+	if d.PrefetchWalkCost != 0 {
+		t.Fatal("async prefetch walk must not consume a busy-wait window")
+	}
+}
+
+func TestITSEqualPriorityIsHighPriority(t *testing.T) {
+	// "lower than the next-to-be-run" — equal is NOT lower.
+	d := New(ITS).Decide(ctx(swappedSpace(8), 3, 3, true))
+	if d.Mode != SyncWait {
+		t.Fatalf("equal priority treated as low: %+v", d)
+	}
+}
+
+func TestITSNoNextProcess(t *testing.T) {
+	// With nothing else runnable there is no one to yield to.
+	d := New(ITS).Decide(ctx(swappedSpace(8), 1, 0, false))
+	if d.Mode != SyncWait {
+		t.Fatalf("lone process sacrificed itself: %+v", d)
+	}
+}
+
+func TestITSAblations(t *testing.T) {
+	as := swappedSpace(32)
+	noSac := NewITS(ITSConfig{DisableSelfSacrificing: true})
+	if d := noSac.Decide(ctx(as, 1, 5, true)); d.Mode != SyncWait {
+		t.Fatalf("DisableSelfSacrificing ignored: %+v", d)
+	}
+	noPf := NewITS(ITSConfig{DisablePrefetch: true})
+	if d := noPf.Decide(ctx(as, 5, 1, true)); len(d.Prefetch) != 0 {
+		t.Fatalf("DisablePrefetch ignored: %+v", d)
+	}
+	noPx := NewITS(ITSConfig{DisablePreExecute: true})
+	if d := noPx.Decide(ctx(as, 5, 1, true)); d.PreExecute {
+		t.Fatalf("DisablePreExecute ignored: %+v", d)
+	}
+}
+
+func TestITSPrefetchDegreeConfig(t *testing.T) {
+	p := NewITS(ITSConfig{PrefetchDegree: 3})
+	d := p.Decide(ctx(swappedSpace(32), 5, 1, true))
+	if len(d.Prefetch) != 3 {
+		t.Fatalf("degree 3 produced %d candidates", len(d.Prefetch))
+	}
+}
+
+func TestNewUnknownKindPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kind accepted")
+		}
+	}()
+	New(Kind(99))
+}
+
+func TestModeString(t *testing.T) {
+	if SyncWait.String() != "sync" || AsyncBlock.String() != "async" {
+		t.Fatal("Mode strings wrong")
+	}
+}
+
+func TestSpinBlockDecision(t *testing.T) {
+	s := NewSpinBlock(0)
+	if s.Threshold != DefaultSpinThreshold {
+		t.Fatalf("default threshold %v", s.Threshold)
+	}
+	d := s.Decide(ctx(swappedSpace(4), 1, 2, true))
+	if d.Mode != SyncWait || d.SpinThreshold != DefaultSpinThreshold {
+		t.Fatalf("decision %+v", d)
+	}
+	if s.Name() != "Spin_Block_7.000µs" {
+		t.Fatalf("name %q", s.Name())
+	}
+	custom := NewSpinBlock(2 * sim.Microsecond)
+	if custom.Decide(nil).SpinThreshold != 2*sim.Microsecond {
+		t.Fatal("custom threshold ignored")
+	}
+}
+
+func TestPolicyKindAndNameAccessors(t *testing.T) {
+	for _, k := range Kinds() {
+		p := New(k)
+		if p.Kind() != k {
+			t.Fatalf("New(%v).Kind() = %v", k, p.Kind())
+		}
+		if p.Name() != k.String() {
+			t.Fatalf("New(%v).Name() = %q", k, p.Name())
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Fatalf("unknown kind String = %q", got)
+	}
+	sb := NewSpinBlock(0)
+	if sb.Kind() != Sync {
+		t.Fatalf("SpinBlock.Kind() = %v (must not carve a pre-execute cache)", sb.Kind())
+	}
+}
+
+func TestITSMaxScanConfig(t *testing.T) {
+	// A tiny MaxScan bounds the walk: with candidates far away none are
+	// found.
+	as := pagetable.New()
+	as.MapSwapped(0, 0)
+	for i := 0; i < 8; i++ {
+		as.MapSwapped(uint64(1000+i)*pagetable.PageSize, uint64(i))
+	}
+	p := NewITS(ITSConfig{MaxScan: 10})
+	d := p.Decide(ctx(as, 5, 1, true))
+	if len(d.Prefetch) != 0 {
+		t.Fatalf("MaxScan 10 found %d candidates 1000 pages away", len(d.Prefetch))
+	}
+}

@@ -1,0 +1,50 @@
+package policy
+
+import (
+	"fmt"
+
+	"itsim/internal/sim"
+)
+
+// SpinBlock is the classic hybrid-polling baseline the kernel community
+// ships today (e.g. NVMe hybrid polling): busy-wait for up to a fixed
+// threshold, and fall back to blocking asynchronously if the I/O has not
+// completed by then. It is not one of the paper's five compared policies,
+// but it is the natural yardstick between pure Sync and pure Async, and the
+// repository includes it as an extension baseline.
+//
+// The machine honours Decision.SpinThreshold: if the DMA completes within
+// the threshold the fault behaves like Sync; otherwise the process blocks
+// (having already burned the threshold busy-waiting).
+type SpinBlock struct {
+	// Threshold is the maximum busy-wait before blocking. The classic
+	// setting is around the cost of a context switch: spinning longer
+	// than a switch can never win.
+	Threshold sim.Time
+}
+
+// DefaultSpinThreshold spins for one context-switch cost (7 µs) before
+// giving up — the break-even setting.
+const DefaultSpinThreshold = 7 * sim.Microsecond
+
+// NewSpinBlock builds the hybrid policy; threshold ≤ 0 selects the default.
+func NewSpinBlock(threshold sim.Time) *SpinBlock {
+	if threshold <= 0 {
+		threshold = DefaultSpinThreshold
+	}
+	return &SpinBlock{Threshold: threshold}
+}
+
+// Kind implements Policy. SpinBlock reports the Sync kind's cache geometry
+// behaviour (no pre-execute cache carve-out) but a distinct name.
+func (*SpinBlock) Kind() Kind { return Sync }
+
+// Name implements Policy.
+func (s *SpinBlock) Name() string {
+	return fmt.Sprintf("Spin_Block_%v", s.Threshold)
+}
+
+// Decide implements Policy: spin up to Threshold, then block.
+func (s *SpinBlock) Decide(*Context) Decision {
+	return Decision{Mode: SyncWait, SpinThreshold: s.Threshold}
+}

@@ -1,0 +1,129 @@
+// Package prefetch implements the two page prefetchers of the evaluation:
+//
+//   - the ITS virtual-address-based prefetcher (§3.4.1), which walks the
+//     4-level page table starting right after the victim page, skipping
+//     already-present pages, hopping to the next PMD's page table when a PT
+//     is exhausted, and collecting up to n swapped-out candidates; and
+//   - the baseline "page-on-page" prefetcher of Sync_Prefetch ([17] in the
+//     paper), which statically groups pages with contiguous page ids into a
+//     fixed-size aligned unit and fetches the whole unit on a fault.
+//
+// Both return candidate page addresses; issuing the DMA is the policy
+// layer's job (internal/policy), so the prefetchers stay pure and testable.
+package prefetch
+
+import (
+	"itsim/internal/pagetable"
+	"itsim/internal/sim"
+)
+
+// Cost model for the ITS prefetcher's page-table walk. Each table touched
+// is a memory read (the tables themselves live in DRAM); scanning PTEs
+// within a cached table is much cheaper.
+const (
+	// TableAccessCost is charged per distinct page table touched.
+	TableAccessCost = 50 * sim.Nanosecond
+	// EntryScanCost is charged per PTE examined.
+	EntryScanCost = 2 * sim.Nanosecond
+)
+
+// DefaultDegree is the ITS prefetch degree n (candidates per fault).
+const DefaultDegree = 8
+
+// DefaultMaxScan bounds how many PTEs the walker examines looking for
+// candidates before giving up (a victim page at the end of a mostly-present
+// region must not walk the whole address space).
+const DefaultMaxScan = 4 * pagetable.EntriesPerTable
+
+// Result is a prefetcher decision.
+type Result struct {
+	// Pages are the page-aligned virtual addresses to swap in.
+	Pages []uint64
+	// WalkCost is the CPU time the candidate search consumed (charged
+	// against the busy-wait window for ITS).
+	WalkCost sim.Time
+	// Scanned is the number of PTEs examined.
+	Scanned int
+}
+
+// VAWalker is the ITS §3.4.1 prefetcher.
+type VAWalker struct {
+	// Degree is the number of candidate pages to gather (n).
+	Degree int
+	// MaxScan bounds the PTEs examined per invocation.
+	MaxScan int
+}
+
+// NewVAWalker returns a walker with the default degree and scan bound.
+func NewVAWalker() *VAWalker {
+	return &VAWalker{Degree: DefaultDegree, MaxScan: DefaultMaxScan}
+}
+
+// Candidates walks as from the page following victimVA, gathering up to
+// Degree swapped-out pages. Present pages are skipped (their data is already
+// in DRAM); unmapped holes terminate the contiguous region but the walk
+// continues into the next mapped table, mirroring the paper's next-PMD hop.
+func (w *VAWalker) Candidates(as *pagetable.AddressSpace, victimVA uint64) Result {
+	degree := w.Degree
+	if degree <= 0 {
+		degree = DefaultDegree
+	}
+	maxScan := w.MaxScan
+	if maxScan <= 0 {
+		maxScan = DefaultMaxScan
+	}
+	start := (victimVA &^ uint64(pagetable.PageSize-1)) + pagetable.PageSize
+	res := Result{Pages: make([]uint64, 0, degree)}
+	visited, tables := as.VisitFrom(start, maxScan, func(s pagetable.WalkStep) bool {
+		if s.PTE.Swapped() {
+			res.Pages = append(res.Pages, s.VA)
+		}
+		return len(res.Pages) < degree
+	})
+	res.Scanned = visited
+	res.WalkCost = sim.Time(tables)*TableAccessCost + sim.Time(visited)*EntryScanCost
+	return res
+}
+
+// PageOnPage is the Sync_Prefetch baseline: a static group of GroupPages
+// pages with contiguous page ids, aligned to the group size, fetched as a
+// unit when any member faults.
+type PageOnPage struct {
+	// GroupPages is the unit size in pages.
+	GroupPages int
+}
+
+// DefaultGroupPages matches the ITS prefetch degree so the two prefetchers
+// move comparable volume per fault.
+const DefaultGroupPages = 8
+
+// NewPageOnPage returns the baseline prefetcher with the default unit size.
+func NewPageOnPage() *PageOnPage {
+	return &PageOnPage{GroupPages: DefaultGroupPages}
+}
+
+// Candidates returns the swapped-out members of victimVA's aligned group,
+// excluding the victim itself (the fault handler already fetches it).
+func (p *PageOnPage) Candidates(as *pagetable.AddressSpace, victimVA uint64) Result {
+	group := p.GroupPages
+	if group <= 0 {
+		group = DefaultGroupPages
+	}
+	unit := uint64(group) * pagetable.PageSize
+	base := victimVA &^ (unit - 1)
+	victimPage := victimVA &^ uint64(pagetable.PageSize-1)
+	res := Result{Pages: make([]uint64, 0, group-1)}
+	for va := base; va < base+unit; va += pagetable.PageSize {
+		res.Scanned++
+		if va == victimPage {
+			continue
+		}
+		pte, ok := as.Lookup(va)
+		if ok && pte.Swapped() {
+			res.Pages = append(res.Pages, va)
+		}
+	}
+	// The group lookup is a handful of PTE reads within one table.
+	res.WalkCost = TableAccessCost + sim.Time(res.Scanned)*EntryScanCost
+	return res
+}

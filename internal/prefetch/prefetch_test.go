@@ -1,0 +1,159 @@
+package prefetch
+
+import (
+	"testing"
+
+	"itsim/internal/pagetable"
+)
+
+const page = pagetable.PageSize
+
+// space maps pages [start, start+n) as swapped, then makes `present` of them
+// resident.
+func space(start uint64, n int, present map[int]bool) *pagetable.AddressSpace {
+	as := pagetable.New()
+	for i := 0; i < n; i++ {
+		va := start + uint64(i)*page
+		as.MapSwapped(va, uint64(i))
+		if present[i] {
+			as.MakePresent(va, uint64(1000+i))
+		}
+	}
+	return as
+}
+
+func TestVAWalkerBasic(t *testing.T) {
+	as := space(0x10000, 20, nil)
+	w := NewVAWalker()
+	res := w.Candidates(as, 0x10000)
+	if len(res.Pages) != DefaultDegree {
+		t.Fatalf("got %d candidates, want %d", len(res.Pages), DefaultDegree)
+	}
+	for i, va := range res.Pages {
+		want := uint64(0x10000) + uint64(i+1)*page
+		if va != want {
+			t.Fatalf("candidate %d = %#x, want %#x", i, va, want)
+		}
+	}
+	if res.WalkCost <= 0 || res.Scanned < DefaultDegree {
+		t.Fatalf("cost=%v scanned=%d", res.WalkCost, res.Scanned)
+	}
+}
+
+func TestVAWalkerSkipsPresent(t *testing.T) {
+	// Pages 1,2,3 resident: the walker must return 4,5,... (§3.4.1: "To
+	// prevent prefetching pages already present in DRAM").
+	as := space(0x10000, 20, map[int]bool{1: true, 2: true, 3: true})
+	w := &VAWalker{Degree: 4}
+	res := w.Candidates(as, 0x10000)
+	if len(res.Pages) != 4 {
+		t.Fatalf("got %d candidates", len(res.Pages))
+	}
+	for i, va := range res.Pages {
+		want := uint64(0x10000) + uint64(i+4)*page
+		if va != want {
+			t.Fatalf("candidate %d = %#x, want %#x", i, va, want)
+		}
+	}
+}
+
+func TestVAWalkerExcludesVictim(t *testing.T) {
+	as := space(0x10000, 10, nil)
+	res := NewVAWalker().Candidates(as, 0x10000+500) // mid-page victim
+	for _, va := range res.Pages {
+		if va == 0x10000 {
+			t.Fatal("victim page returned as candidate")
+		}
+	}
+}
+
+func TestVAWalkerBoundedScan(t *testing.T) {
+	// Nothing mapped after the victim: the walk must stop at MaxScan.
+	as := space(0x10000, 1, nil)
+	w := &VAWalker{Degree: 8, MaxScan: 100}
+	res := w.Candidates(as, 0x10000)
+	if len(res.Pages) != 0 {
+		t.Fatalf("found %d candidates in empty space", len(res.Pages))
+	}
+	if res.Scanned > 100 {
+		t.Fatalf("scanned %d > MaxScan 100", res.Scanned)
+	}
+}
+
+func TestVAWalkerCrossesIntoNextTable(t *testing.T) {
+	// Victim at the end of a PT (2 MiB region); candidates live in the
+	// next table — the paper's "traverse the next PMD entry" case.
+	boundary := uint64(2 << 20)
+	as := pagetable.New()
+	as.MapSwapped(boundary-page, 0)
+	for i := uint64(0); i < 4; i++ {
+		as.MapSwapped(boundary+i*page, i+1)
+	}
+	w := &VAWalker{Degree: 4}
+	res := w.Candidates(as, boundary-page)
+	if len(res.Pages) != 4 {
+		t.Fatalf("got %d candidates across PT boundary", len(res.Pages))
+	}
+	if res.Pages[0] != boundary {
+		t.Fatalf("first candidate %#x, want %#x", res.Pages[0], boundary)
+	}
+}
+
+func TestVAWalkerDefaultsOnZeroFields(t *testing.T) {
+	as := space(0, 20, nil)
+	w := &VAWalker{} // zero Degree/MaxScan must fall back to defaults
+	res := w.Candidates(as, 0)
+	if len(res.Pages) != DefaultDegree {
+		t.Fatalf("got %d, want default degree %d", len(res.Pages), DefaultDegree)
+	}
+}
+
+func TestPageOnPageGroup(t *testing.T) {
+	as := space(0, 32, nil)
+	p := NewPageOnPage()
+	// Victim in the middle of the second aligned group of 8.
+	victim := uint64(11 * page)
+	res := p.Candidates(as, victim)
+	if len(res.Pages) != 7 {
+		t.Fatalf("got %d candidates, want 7 (group minus victim)", len(res.Pages))
+	}
+	lo, hi := uint64(8*page), uint64(16*page)
+	for _, va := range res.Pages {
+		if va < lo || va >= hi {
+			t.Fatalf("candidate %#x outside aligned group [%#x,%#x)", va, lo, hi)
+		}
+		if va == victim&^uint64(page-1) {
+			t.Fatal("victim included")
+		}
+	}
+}
+
+func TestPageOnPageSkipsResidentMembers(t *testing.T) {
+	as := space(0, 8, map[int]bool{0: true, 1: true, 2: true})
+	p := &PageOnPage{GroupPages: 8}
+	res := p.Candidates(as, 3*page)
+	if len(res.Pages) != 4 { // pages 4..7
+		t.Fatalf("got %d candidates, want 4", len(res.Pages))
+	}
+}
+
+func TestPageOnPageUnmappedHole(t *testing.T) {
+	// Group contains unmapped pages: they are not candidates.
+	as := pagetable.New()
+	as.MapSwapped(0, 0)
+	as.MapSwapped(page, 1)
+	p := &PageOnPage{GroupPages: 8}
+	res := p.Candidates(as, 0)
+	if len(res.Pages) != 1 || res.Pages[0] != page {
+		t.Fatalf("candidates = %#v", res.Pages)
+	}
+}
+
+func TestPageOnPageDefaultGroup(t *testing.T) {
+	as := space(0, 16, nil)
+	p := &PageOnPage{}
+	res := p.Candidates(as, 0)
+	if res.Scanned != DefaultGroupPages {
+		t.Fatalf("scanned %d, want default group %d", res.Scanned, DefaultGroupPages)
+	}
+}

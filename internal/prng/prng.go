@@ -1,0 +1,116 @@
+// Package prng provides a small, fast, deterministic pseudo-random number
+// generator used by the synthetic workload generators and the simulator.
+//
+// Determinism matters more than statistical perfection here: a workload
+// trace must be exactly reproducible from its seed so that every policy in
+// an experiment sees byte-identical input. The generator is SplitMix64 for
+// seeding feeding an xoshiro256** state, both public-domain algorithms.
+package prng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// Source is a deterministic 64-bit PRNG (xoshiro256** seeded by SplitMix64).
+// The zero value is not usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source deterministically derived from seed. Distinct seeds
+// yield uncorrelated streams.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	// Avoid the theoretical all-zero state.
+	if src.s[0]|src.s[1]|src.s[2]|src.s[3] == 0 {
+		src.s[0] = 0x9e3779b97f4a7c15
+	}
+	return &src
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Intn returns a uniformly distributed int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("prng: Intn with non-positive n")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniformly distributed uint64 in [0, n). It panics if
+// n == 0. Uses Lemire's multiply-shift rejection method.
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("prng: Uint64n with zero n")
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Float64 returns a uniformly distributed float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p (clamped to [0,1]).
+func (r *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Zipf samples from a bounded Zipf-like distribution over [0, n) with
+// exponent theta in (0, 2]. It uses the rejection-inversion-free power
+// approximation common in storage-workload generators (YCSB-style): cheap,
+// deterministic, and heavy-tailed enough to model hot/cold page behaviour.
+func (r *Source) Zipf(n int, theta float64) int {
+	if n <= 1 {
+		return 0
+	}
+	// Inverse-CDF approximation of a power-law: floor(n * u^(1/(1-theta)))
+	// diverges for theta >= 1, so fold to an exponent in (0, 1).
+	exp := theta
+	if exp >= 0.99 {
+		exp = 0.99
+	}
+	u := r.Float64()
+	// Map u through u^(1/(1-exp)): small ranks strongly favoured.
+	v := math.Pow(u, 1/(1-exp))
+	idx := int(v * float64(n))
+	if idx >= n {
+		idx = n - 1
+	}
+	return idx
+}

@@ -1,0 +1,28 @@
+package report_test
+
+import (
+	"os"
+
+	"itsim/internal/report"
+)
+
+func ExampleTable() {
+	t := report.NewTable("Results", "batch", "Async", "ITS")
+	t.AddRowf("No_Data_Intensive", 2.76, 1.0)
+	t.WriteText(os.Stdout)
+	// Output:
+	// Results
+	//   batch              Async  ITS
+	//   No_Data_Intensive  2.76   1.00
+}
+
+func ExampleBarChart() {
+	report.BarChart(os.Stdout, "normalized idle", []report.Bar{
+		{Label: "Async", Value: 2.0},
+		{Label: "ITS", Value: 1.0},
+	}, 10)
+	// Output:
+	// normalized idle
+	//   Async ██████████ 2.00
+	//   ITS   █████ 1.00
+}

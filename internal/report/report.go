@@ -1,0 +1,167 @@
+// Package report renders experiment results as text tables, CSV, and ASCII
+// bar charts — the presentation layer of cmd/itsbench and the examples, kept
+// separate so output formatting stays testable and consistent.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Table is a simple column-oriented result table.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Header) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row of formatted values: strings pass through, float64
+// render with two decimals, integers verbatim.
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row = append(row, v)
+		case float64:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		case fmt.Stringer:
+			row = append(row, v.String())
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// WriteText renders the table with aligned columns.
+func (t *Table) WriteText(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintln(w, t.Title); err != nil {
+			return err
+		}
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	if len(t.Header) > 0 {
+		fmt.Fprintln(tw, "  "+strings.Join(t.Header, "\t"))
+	}
+	for _, row := range t.Rows {
+		fmt.Fprintln(tw, "  "+strings.Join(row, "\t"))
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// WriteCSV renders the table as RFC-4180-ish CSV (quoting cells containing
+// commas, quotes, or newlines).
+func (t *Table) WriteCSV(w io.Writer) error {
+	write := func(cells []string) error {
+		quoted := make([]string, len(cells))
+		for i, c := range cells {
+			quoted[i] = csvQuote(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(quoted, ","))
+		return err
+	}
+	if len(t.Header) > 0 {
+		if err := write(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, row := range t.Rows {
+		if err := write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func csvQuote(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// Bar is one bar of an ASCII chart.
+type Bar struct {
+	Label string
+	Value float64
+}
+
+// BarChart renders horizontal ASCII bars scaled to width characters, e.g.
+//
+//	Async          ██████████████████████████████ 2.77
+//	Sync           ██████████████████ 1.69
+//	ITS            ██████████ 1.00
+//
+// Values must be non-negative; the longest bar gets the full width.
+func BarChart(w io.Writer, title string, bars []Bar, width int) error {
+	if width <= 0 {
+		width = 40
+	}
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	var max float64
+	labelW := 0
+	for _, b := range bars {
+		if b.Value > max {
+			max = b.Value
+		}
+		if len(b.Label) > labelW {
+			labelW = len(b.Label)
+		}
+	}
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(b.Value / max * float64(width))
+		}
+		if b.Value > 0 && n == 0 {
+			n = 1
+		}
+		if _, err := fmt.Fprintf(w, "  %-*s %s %.2f\n",
+			labelW, b.Label, strings.Repeat("█", n), b.Value); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// GroupedBarChart renders one BarChart per group, prefixed by the group
+// name — the shape of the paper's per-batch figures.
+func GroupedBarChart(w io.Writer, title string, groups []string, series map[string][]Bar, width int) error {
+	if title != "" {
+		if _, err := fmt.Fprintln(w, title); err != nil {
+			return err
+		}
+	}
+	for _, g := range groups {
+		if err := BarChart(w, "["+g+"]", series[g], width); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tb := NewTable("Results", "batch", "Async", "ITS")
+	tb.AddRow("No_DI", "2.77", "1.00")
+	tb.AddRowf("1_DI", 3.1012, 1.0)
+	var sb strings.Builder
+	if err := tb.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Results", "batch", "No_DI", "2.77", "3.10"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTablePadsShortRows(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRow("only")
+	if len(tb.Rows[0]) != 3 {
+		t.Fatalf("row not padded: %v", tb.Rows[0])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("x", "name", "value")
+	tb.AddRow("plain", "1")
+	tb.AddRow(`quote "q"`, "2")
+	tb.AddRow("comma, cell", "3")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d CSV lines", len(lines))
+	}
+	if lines[0] != "name,value" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[2] != `"quote ""q""",2` {
+		t.Fatalf("quoted line = %q", lines[2])
+	}
+	if lines[3] != `"comma, cell",3` {
+		t.Fatalf("comma line = %q", lines[3])
+	}
+}
+
+func TestAddRowfFormats(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRowf("s", 1.5, 42)
+	got := tb.Rows[0]
+	if got[0] != "s" || got[1] != "1.50" || got[2] != "42" {
+		t.Fatalf("AddRowf row = %v", got)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	var sb strings.Builder
+	bars := []Bar{{"Async", 2.0}, {"Sync", 1.0}, {"ITS", 0.5}}
+	if err := BarChart(&sb, "idle", bars, 20); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // title + 3 bars
+		t.Fatalf("%d lines:\n%s", len(lines), out)
+	}
+	asyncBlocks := strings.Count(lines[1], "█")
+	syncBlocks := strings.Count(lines[2], "█")
+	itsBlocks := strings.Count(lines[3], "█")
+	if asyncBlocks != 20 {
+		t.Fatalf("max bar has %d blocks, want full width 20", asyncBlocks)
+	}
+	if syncBlocks != 10 || itsBlocks != 5 {
+		t.Fatalf("bars not proportional: %d %d", syncBlocks, itsBlocks)
+	}
+}
+
+func TestBarChartTinyValueStillVisible(t *testing.T) {
+	var sb strings.Builder
+	if err := BarChart(&sb, "", []Bar{{"big", 1000}, {"tiny", 0.1}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		if strings.Contains(line, "tiny") && !strings.Contains(line, "█") {
+			t.Fatal("non-zero bar rendered empty")
+		}
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	var sb strings.Builder
+	if err := BarChart(&sb, "", []Bar{{"a", 0}, {"b", 0}}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "█") {
+		t.Fatal("zero bars rendered blocks")
+	}
+}
+
+func TestGroupedBarChart(t *testing.T) {
+	var sb strings.Builder
+	groups := []string{"g1", "g2"}
+	series := map[string][]Bar{
+		"g1": {{"a", 1}},
+		"g2": {{"b", 2}},
+	}
+	if err := GroupedBarChart(&sb, "T", groups, series, 10); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "[g1]") || !strings.Contains(out, "[g2]") || !strings.Contains(out, "T") {
+		t.Fatalf("grouped output wrong:\n%s", out)
+	}
+	// Group order preserved.
+	if strings.Index(out, "[g1]") > strings.Index(out, "[g2]") {
+		t.Fatal("groups out of order")
+	}
+}

@@ -1,0 +1,334 @@
+// Package sched implements the mini kernel's process scheduler: the Linux
+// real-time round-robin class (SCHED_RR) with NICE-style time slices, as in
+// the paper's §4.1 setup — "the time slice allocated to the highest and
+// lowest priority processes is set to 800 ms and 5 ms".
+//
+// Processes share one ready queue and run in round-robin order; a process's
+// priority determines how long its slice is, not whether it runs (the paper
+// assigns priorities randomly and still expects every process to make
+// progress, with ITS's self-sacrificing thread — not the scheduler —
+// responsible for yielding low-priority CPU time).
+//
+// The ITS priority-aware thread selection policy (§3.2) "compares the
+// priority value of the current running process against the next-to-be-run
+// process"; NextToRun exposes exactly that lookup.
+package sched
+
+import (
+	"fmt"
+
+	"itsim/internal/sim"
+)
+
+// Paper §4.1 slice bounds.
+const (
+	// MaxSlice is the time slice of the highest-priority process.
+	MaxSlice = 800 * sim.Millisecond
+	// MinSlice is the time slice of the lowest-priority process.
+	MinSlice = 5 * sim.Millisecond
+)
+
+// State is a process's scheduling state.
+type State uint8
+
+// Scheduling states.
+const (
+	// Ready means runnable, waiting in the queue.
+	Ready State = iota
+	// Running means currently on the CPU.
+	Running
+	// Blocked means waiting for asynchronous I/O.
+	Blocked
+	// Finished means the trace is exhausted.
+	Finished
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Ready:
+		return "ready"
+	case Running:
+		return "running"
+	case Blocked:
+		return "blocked"
+	default:
+		return "finished"
+	}
+}
+
+type entry struct {
+	pid      int
+	priority int
+	state    State
+	slice    sim.Time
+}
+
+// Stats counts scheduler activity.
+type Stats struct {
+	ContextSwitches uint64
+	SliceExpiries   uint64
+	Blocks          uint64
+	Wakeups         uint64
+}
+
+// RR is the round-robin scheduler.
+type RR struct {
+	entries map[int]*entry
+	// queue holds Ready pids in dispatch order.
+	queue   []int
+	running int // pid currently on CPU, or -1
+	// priority range for slice mapping, fixed once processes are added.
+	minPrio, maxPrio int
+	// slice range; defaults to the paper's 5 ms…800 ms. Scaled-down
+	// traces scale these down with them (see machine.Config).
+	minSlice, maxSlice sim.Time
+	// strict selects true SCHED_RR semantics: the highest-priority ready
+	// process always dispatches first, round-robin only among equals.
+	// The default (false) is the paper's effective behaviour — a single
+	// round-robin queue with priority-scaled slices (the NICE mechanism).
+	strict bool
+	stats  Stats
+}
+
+// New returns an empty scheduler.
+func New() *RR {
+	return &RR{
+		entries:  make(map[int]*entry),
+		running:  -1,
+		minSlice: MinSlice,
+		maxSlice: MaxSlice,
+	}
+}
+
+// SetStrictPriority switches dispatch to true SCHED_RR semantics: strict
+// priority order, round-robin among equal priorities. An ablation knob —
+// under strict priority low-priority processes starve until higher ones
+// block or finish, which changes the Figure 5 dynamics substantially.
+func (s *RR) SetStrictPriority(on bool) { s.strict = on }
+
+// SetSliceRange overrides the NICE slice bounds (lowest-priority,
+// highest-priority). The paper's traces run for minutes under 5 ms…800 ms
+// slices; scaled-down traces preserve the rotation dynamics by scaling the
+// bounds with the workload. Panics on a non-positive or inverted range.
+func (s *RR) SetSliceRange(min, max sim.Time) {
+	if min <= 0 || max < min {
+		panic(fmt.Sprintf("sched: bad slice range [%v, %v]", min, max))
+	}
+	s.minSlice, s.maxSlice = min, max
+	s.recomputeSlices()
+}
+
+// Add registers a process with the given priority (larger = higher
+// priority) in the Ready state.
+func (s *RR) Add(pid, priority int) {
+	if _, dup := s.entries[pid]; dup {
+		panic(fmt.Sprintf("sched: duplicate pid %d", pid))
+	}
+	if len(s.entries) == 0 {
+		s.minPrio, s.maxPrio = priority, priority
+	} else {
+		if priority < s.minPrio {
+			s.minPrio = priority
+		}
+		if priority > s.maxPrio {
+			s.maxPrio = priority
+		}
+	}
+	s.entries[pid] = &entry{pid: pid, priority: priority, state: Ready}
+	s.queue = append(s.queue, pid)
+	s.recomputeSlices()
+}
+
+// recomputeSlices maps each priority linearly onto [MinSlice, MaxSlice]
+// across the registered priority range (the NICE mechanism's effect).
+func (s *RR) recomputeSlices() {
+	span := s.maxPrio - s.minPrio
+	for _, e := range s.entries {
+		if span == 0 {
+			e.slice = s.maxSlice
+			continue
+		}
+		frac := float64(e.priority-s.minPrio) / float64(span)
+		e.slice = s.minSlice + sim.Time(frac*float64(s.maxSlice-s.minSlice))
+	}
+}
+
+// Priority returns pid's priority.
+func (s *RR) Priority(pid int) int { return s.mustGet(pid).priority }
+
+// SliceFor returns pid's time-slice length.
+func (s *RR) SliceFor(pid int) sim.Time { return s.mustGet(pid).slice }
+
+// StateOf returns pid's scheduling state.
+func (s *RR) StateOf(pid int) State { return s.mustGet(pid).state }
+
+// Stats returns a copy of the counters.
+func (s *RR) Stats() Stats { return s.stats }
+
+// Running returns the pid on the CPU, or -1.
+func (s *RR) Running() int { return s.running }
+
+func (s *RR) mustGet(pid int) *entry {
+	e, ok := s.entries[pid]
+	if !ok {
+		panic(fmt.Sprintf("sched: unknown pid %d", pid))
+	}
+	return e
+}
+
+// PickNext dispatches the head of the ready queue, marking it Running, and
+// returns its pid; -1 when nothing is runnable. The caller is responsible
+// for charging context-switch time when the dispatched process differs from
+// the previously running one.
+func (s *RR) PickNext() int {
+	if s.running != -1 {
+		panic(fmt.Sprintf("sched: PickNext while pid %d is running", s.running))
+	}
+	if s.strict {
+		if pid := s.pickStrict(); pid != -1 {
+			return pid
+		}
+		return -1
+	}
+	for len(s.queue) > 0 {
+		pid := s.queue[0]
+		s.queue = s.queue[1:]
+		e := s.entries[pid]
+		if e.state != Ready {
+			continue // stale queue entry (blocked/finished after enqueue)
+		}
+		e.state = Running
+		s.running = pid
+		return pid
+	}
+	return -1
+}
+
+// pickStrict dispatches the highest-priority Ready process, FIFO among
+// equals, and compacts stale queue entries as it scans.
+func (s *RR) pickStrict() int {
+	best := -1
+	bestIdx := -1
+	for i, pid := range s.queue {
+		e := s.entries[pid]
+		if e.state != Ready {
+			continue
+		}
+		if best == -1 || e.priority > s.entries[best].priority {
+			best, bestIdx = pid, i
+		}
+	}
+	if best == -1 {
+		s.queue = s.queue[:0]
+		return -1
+	}
+	s.queue = append(s.queue[:bestIdx], s.queue[bestIdx+1:]...)
+	e := s.entries[best]
+	e.state = Running
+	s.running = best
+	return best
+}
+
+// NextToRun peeks at the next process PickNext would dispatch, without
+// dispatching; -1 when nothing is ready. This is the "next-to-be-run
+// process" the ITS priority-aware selection policy compares against (§3.2).
+func (s *RR) NextToRun() int {
+	if s.strict {
+		best := -1
+		for _, pid := range s.queue {
+			e := s.entries[pid]
+			if e.state != Ready {
+				continue
+			}
+			if best == -1 || e.priority > s.entries[best].priority {
+				best = pid
+			}
+		}
+		return best
+	}
+	for _, pid := range s.queue {
+		if s.entries[pid].state == Ready {
+			return pid
+		}
+	}
+	return -1
+}
+
+// Runnable returns the number of Ready processes (excluding the runner).
+func (s *RR) Runnable() int {
+	n := 0
+	for _, pid := range s.queue {
+		if s.entries[pid].state == Ready {
+			n++
+		}
+	}
+	return n
+}
+
+// Alive returns the number of unfinished processes.
+func (s *RR) Alive() int {
+	n := 0
+	for _, e := range s.entries {
+		if e.state != Finished {
+			n++
+		}
+	}
+	return n
+}
+
+// Expire moves the running process to the queue tail (slice exhausted).
+func (s *RR) Expire(pid int) {
+	e := s.mustGet(pid)
+	if e.state != Running {
+		panic(fmt.Sprintf("sched: Expire on %s pid %d", e.state, pid))
+	}
+	e.state = Ready
+	s.running = -1
+	s.queue = append(s.queue, pid)
+	s.stats.SliceExpiries++
+	s.stats.ContextSwitches++
+}
+
+// Block parks the running process waiting on I/O.
+func (s *RR) Block(pid int) {
+	e := s.mustGet(pid)
+	if e.state != Running {
+		panic(fmt.Sprintf("sched: Block on %s pid %d", e.state, pid))
+	}
+	e.state = Blocked
+	s.running = -1
+	s.stats.Blocks++
+	s.stats.ContextSwitches++
+}
+
+// Unblock makes a blocked process runnable again (I/O completed), appending
+// it at the queue tail.
+func (s *RR) Unblock(pid int) {
+	e := s.mustGet(pid)
+	if e.state != Blocked {
+		panic(fmt.Sprintf("sched: Unblock on %s pid %d", e.state, pid))
+	}
+	e.state = Ready
+	s.queue = append(s.queue, pid)
+	s.stats.Wakeups++
+}
+
+// Finish retires the running process permanently.
+func (s *RR) Finish(pid int) {
+	e := s.mustGet(pid)
+	if e.state != Running {
+		panic(fmt.Sprintf("sched: Finish on %s pid %d", e.state, pid))
+	}
+	e.state = Finished
+	s.running = -1
+}
+
+// Pids returns every registered pid (unspecified order).
+func (s *RR) Pids() []int {
+	out := make([]int, 0, len(s.entries))
+	for pid := range s.entries {
+		out = append(out, pid)
+	}
+	return out
+}

@@ -1,0 +1,276 @@
+package sched
+
+import (
+	"testing"
+
+	"itsim/internal/sim"
+)
+
+func TestAddAndSlices(t *testing.T) {
+	s := New()
+	s.Add(0, 1) // lowest
+	s.Add(1, 6) // highest
+	s.Add(2, 3)
+	if got := s.SliceFor(1); got != MaxSlice {
+		t.Fatalf("highest priority slice = %v, want %v", got, MaxSlice)
+	}
+	if got := s.SliceFor(0); got != MinSlice {
+		t.Fatalf("lowest priority slice = %v, want %v", got, MinSlice)
+	}
+	mid := s.SliceFor(2)
+	if mid <= MinSlice || mid >= MaxSlice {
+		t.Fatalf("mid priority slice = %v, want strictly between", mid)
+	}
+}
+
+func TestSinglePriorityGetsMaxSlice(t *testing.T) {
+	s := New()
+	s.Add(0, 5)
+	s.Add(1, 5)
+	if s.SliceFor(0) != MaxSlice || s.SliceFor(1) != MaxSlice {
+		t.Fatal("uniform priorities should all get MaxSlice")
+	}
+}
+
+func TestSetSliceRange(t *testing.T) {
+	s := New()
+	s.Add(0, 1)
+	s.Add(1, 2)
+	s.SetSliceRange(10*sim.Microsecond, 100*sim.Microsecond)
+	if s.SliceFor(0) != 10*sim.Microsecond || s.SliceFor(1) != 100*sim.Microsecond {
+		t.Fatalf("slices after SetSliceRange: %v %v", s.SliceFor(0), s.SliceFor(1))
+	}
+}
+
+func TestSetSliceRangePanicsOnBadRange(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("inverted range accepted")
+		}
+	}()
+	s.SetSliceRange(100, 10)
+}
+
+func TestDuplicatePIDPanics(t *testing.T) {
+	s := New()
+	s.Add(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate pid accepted")
+		}
+	}()
+	s.Add(0, 2)
+}
+
+func TestRoundRobinOrder(t *testing.T) {
+	s := New()
+	s.Add(0, 1)
+	s.Add(1, 2)
+	s.Add(2, 3)
+	var order []int
+	for i := 0; i < 6; i++ {
+		pid := s.PickNext()
+		order = append(order, pid)
+		s.Expire(pid)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("dispatch order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestPickNextWhileRunningPanics(t *testing.T) {
+	s := New()
+	s.Add(0, 1)
+	s.PickNext()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PickNext while running accepted")
+		}
+	}()
+	s.PickNext()
+}
+
+func TestBlockUnblock(t *testing.T) {
+	s := New()
+	s.Add(0, 1)
+	s.Add(1, 2)
+	pid := s.PickNext()
+	s.Block(pid)
+	if s.StateOf(pid) != Blocked {
+		t.Fatalf("state = %v", s.StateOf(pid))
+	}
+	// Only pid 1 runnable.
+	if got := s.PickNext(); got != 1 {
+		t.Fatalf("PickNext = %d, want 1", got)
+	}
+	s.Expire(1)
+	s.Unblock(0)
+	// Queue: [1 (expired first), 0 (just woken)].
+	if got := s.PickNext(); got != 1 {
+		t.Fatalf("PickNext = %d, want 1 (FIFO)", got)
+	}
+	s.Expire(1)
+	if got := s.PickNext(); got != 0 {
+		t.Fatalf("PickNext = %d, want 0", got)
+	}
+}
+
+func TestUnblockNotBlockedPanics(t *testing.T) {
+	s := New()
+	s.Add(0, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Unblock of ready process accepted")
+		}
+	}()
+	s.Unblock(0)
+}
+
+func TestFinish(t *testing.T) {
+	s := New()
+	s.Add(0, 1)
+	s.Add(1, 2)
+	if s.Alive() != 2 {
+		t.Fatalf("Alive = %d", s.Alive())
+	}
+	pid := s.PickNext()
+	s.Finish(pid)
+	if s.Alive() != 1 || s.StateOf(pid) != Finished {
+		t.Fatalf("after Finish: alive=%d state=%v", s.Alive(), s.StateOf(pid))
+	}
+	// Finished process never dispatched again.
+	for i := 0; i < 3; i++ {
+		got := s.PickNext()
+		if got == pid {
+			t.Fatal("finished process dispatched")
+		}
+		if got == -1 {
+			break
+		}
+		s.Expire(got)
+	}
+}
+
+func TestNextToRunSkipsStaleEntries(t *testing.T) {
+	s := New()
+	s.Add(0, 1)
+	s.Add(1, 2)
+	pid := s.PickNext() // 0 running
+	if got := s.NextToRun(); got != 1 {
+		t.Fatalf("NextToRun = %d, want 1", got)
+	}
+	s.Block(pid)
+	// Pick 1, then nothing runnable.
+	if got := s.PickNext(); got != 1 {
+		t.Fatalf("PickNext = %d", got)
+	}
+	if got := s.NextToRun(); got != -1 {
+		t.Fatalf("NextToRun = %d, want -1", got)
+	}
+	if s.Runnable() != 0 {
+		t.Fatalf("Runnable = %d", s.Runnable())
+	}
+}
+
+func TestEmptyPick(t *testing.T) {
+	s := New()
+	if s.PickNext() != -1 {
+		t.Fatal("PickNext on empty scheduler != -1")
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New()
+	s.Add(0, 1)
+	s.Add(1, 2)
+	p := s.PickNext()
+	s.Expire(p)
+	p = s.PickNext()
+	s.Block(p)
+	s.Unblock(p)
+	st := s.Stats()
+	if st.SliceExpiries != 1 || st.Blocks != 1 || st.Wakeups != 1 || st.ContextSwitches != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestPriorityAndPids(t *testing.T) {
+	s := New()
+	s.Add(7, 42)
+	if s.Priority(7) != 42 {
+		t.Fatal("Priority wrong")
+	}
+	if got := s.Pids(); len(got) != 1 || got[0] != 7 {
+		t.Fatalf("Pids = %v", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	if Ready.String() != "ready" || Running.String() != "running" ||
+		Blocked.String() != "blocked" || Finished.String() != "finished" {
+		t.Fatal("State strings wrong")
+	}
+}
+
+func TestStrictPriorityDispatch(t *testing.T) {
+	s := New()
+	s.SetStrictPriority(true)
+	s.Add(0, 1)
+	s.Add(1, 3)
+	s.Add(2, 2)
+	if got := s.NextToRun(); got != 1 {
+		t.Fatalf("NextToRun = %d, want highest-priority 1", got)
+	}
+	if got := s.PickNext(); got != 1 {
+		t.Fatalf("PickNext = %d, want 1", got)
+	}
+	s.Block(1)
+	if got := s.PickNext(); got != 2 {
+		t.Fatalf("PickNext = %d, want 2 (next priority)", got)
+	}
+	s.Expire(2)
+	s.Unblock(1)
+	// 1 is ready again and outranks 0 and 2.
+	if got := s.PickNext(); got != 1 {
+		t.Fatalf("PickNext after wake = %d, want 1", got)
+	}
+}
+
+func TestStrictPriorityFIFOAmongEquals(t *testing.T) {
+	s := New()
+	s.SetStrictPriority(true)
+	s.Add(0, 5)
+	s.Add(1, 5)
+	s.Add(2, 5)
+	var order []int
+	for i := 0; i < 6; i++ {
+		pid := s.PickNext()
+		order = append(order, pid)
+		s.Expire(pid)
+	}
+	want := []int{0, 1, 2, 0, 1, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("equal-priority order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestStrictPriorityEmpty(t *testing.T) {
+	s := New()
+	s.SetStrictPriority(true)
+	s.Add(0, 1)
+	pid := s.PickNext()
+	s.Block(pid)
+	if s.PickNext() != -1 || s.NextToRun() != -1 {
+		t.Fatal("strict scheduler found work with everyone blocked")
+	}
+	s.Unblock(0)
+	if s.PickNext() != 0 {
+		t.Fatal("strict scheduler lost the woken process")
+	}
+}

@@ -1,0 +1,15 @@
+package sim
+
+import "testing"
+
+func BenchmarkScheduleFire(b *testing.B) {
+	var e Engine
+	fn := func(Time) {}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Schedule(e.Now()+Time(i%64), fn)
+		if e.Pending() > 64 {
+			e.StepOne()
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package sim provides the deterministic discrete-event core of the
+// simulator: a virtual nanosecond clock and a binary-heap event queue.
+//
+// The machine model (internal/machine) advances the clock directly while the
+// simulated CPU executes a trace, and schedules future work — DMA
+// completions, asynchronous I/O completions, prefetch arrivals — as events.
+// Events scheduled for the same instant fire in scheduling order (FIFO),
+// which keeps runs reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual timestamp in nanoseconds since the start of a run.
+type Time int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// String renders the time with an adaptive unit, e.g. "3.000µs".
+func (t Time) String() string {
+	switch {
+	case t >= Second:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	case t >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	case t >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(t)/float64(Microsecond))
+	default:
+		return fmt.Sprintf("%dns", int64(t))
+	}
+}
+
+// Seconds returns the time as a float64 second count.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Event is a unit of future work. Fn runs when the clock reaches At.
+type Event struct {
+	At  Time
+	Fn  func(now Time)
+	seq uint64 // tie-break: FIFO among equal timestamps
+	idx int    // heap bookkeeping; -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed before firing.
+func (e *Event) Cancelled() bool { return e.idx == -2 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine owns the virtual clock and the pending-event queue. The zero value
+// is ready to use.
+type Engine struct {
+	now    Time
+	queue  eventHeap
+	seq    uint64
+	fired  uint64
+	sched  uint64
+	inStep bool
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Pending returns the number of events not yet fired.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Scheduled returns the total number of events ever scheduled.
+func (e *Engine) Scheduled() uint64 { return e.sched }
+
+// Fired returns the total number of events that have run.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule queues fn to run at absolute time at. Scheduling in the past
+// (at < Now) is a programming error and panics: the machine model must never
+// generate causality violations. Returns a handle usable with Cancel.
+func (e *Engine) Schedule(at Time, fn func(now Time)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %v before now %v", at, e.now))
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	e.seq++
+	e.sched++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// ScheduleAfter queues fn to run delay nanoseconds from now.
+func (e *Engine) ScheduleAfter(delay Time, fn func(now Time)) *Event {
+	if delay < 0 {
+		delay = 0
+	}
+	return e.Schedule(e.now+delay, fn)
+}
+
+// Cancel removes a pending event so it never fires. Cancelling an event that
+// already fired (or was already cancelled) is a no-op returning false.
+func (e *Engine) Cancel(ev *Event) bool {
+	if ev == nil || ev.idx < 0 {
+		return false
+	}
+	heap.Remove(&e.queue, ev.idx)
+	ev.idx = -2
+	return true
+}
+
+// NextEventTime returns the timestamp of the earliest pending event and true,
+// or (0, false) when the queue is empty.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].At, true
+}
+
+// Advance moves the clock forward by d without firing events. It panics if
+// d is negative. Events that fall inside the skipped window remain pending;
+// callers that need them processed use AdvanceTo/RunUntil instead. This is
+// the fast path used while the CPU burns through compute gaps with no device
+// activity outstanding.
+func (e *Engine) Advance(d Time) {
+	if d < 0 {
+		panic("sim: negative Advance")
+	}
+	e.now += d
+}
+
+// AdvanceTo moves the clock to t (>= now), firing every event with At <= t in
+// order. Event functions may schedule further events; those are honoured if
+// they also fall at or before t.
+func (e *Engine) AdvanceTo(t Time) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: AdvanceTo(%v) before now %v", t, e.now))
+	}
+	for len(e.queue) > 0 && e.queue[0].At <= t {
+		e.step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// RunUntilIdle fires events in timestamp order until the queue is empty.
+func (e *Engine) RunUntilIdle() {
+	for len(e.queue) > 0 {
+		e.step()
+	}
+}
+
+// StepOne fires exactly the earliest pending event (advancing the clock to
+// it) and reports whether an event was fired.
+func (e *Engine) StepOne() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	e.step()
+	return true
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(*Event)
+	if ev.At > e.now {
+		e.now = ev.At
+	}
+	e.fired++
+	ev.Fn(e.now)
+}

@@ -1,0 +1,218 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		t    Time
+		want string
+	}{
+		{500, "500ns"},
+		{3 * Microsecond, "3.000µs"},
+		{7*Microsecond + 500*Nanosecond, "7.500µs"},
+		{12 * Millisecond, "12.000ms"},
+		{2 * Second, "2.000s"},
+	}
+	for _, c := range cases {
+		if got := c.t.String(); got != c.want {
+			t.Errorf("(%d).String() = %q, want %q", int64(c.t), got, c.want)
+		}
+	}
+}
+
+func TestScheduleAndAdvanceTo(t *testing.T) {
+	var e Engine
+	var fired []int
+	e.Schedule(30, func(Time) { fired = append(fired, 3) })
+	e.Schedule(10, func(Time) { fired = append(fired, 1) })
+	e.Schedule(20, func(Time) { fired = append(fired, 2) })
+	e.AdvanceTo(25)
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 2 {
+		t.Fatalf("fired = %v, want [1 2]", fired)
+	}
+	if e.Now() != 25 {
+		t.Fatalf("Now = %v, want 25", e.Now())
+	}
+	e.AdvanceTo(30)
+	if len(fired) != 3 || fired[2] != 3 {
+		t.Fatalf("fired = %v, want [1 2 3]", fired)
+	}
+}
+
+func TestFIFOAmongEqualTimestamps(t *testing.T) {
+	var e Engine
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(100, func(Time) { order = append(order, i) })
+	}
+	e.RunUntilIdle()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-timestamp events fired out of order: %v", order)
+		}
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Advance(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.Schedule(50, func(Time) {})
+}
+
+func TestAdvanceBackwardsPanics(t *testing.T) {
+	var e Engine
+	e.Advance(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("AdvanceTo backwards did not panic")
+		}
+	}()
+	e.AdvanceTo(50)
+}
+
+func TestNegativeAdvancePanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Advance did not panic")
+		}
+	}()
+	e.Advance(-1)
+}
+
+func TestCancel(t *testing.T) {
+	var e Engine
+	fired := false
+	ev := e.Schedule(10, func(Time) { fired = true })
+	if !e.Cancel(ev) {
+		t.Fatal("Cancel returned false for pending event")
+	}
+	if e.Cancel(ev) {
+		t.Fatal("double Cancel returned true")
+	}
+	e.RunUntilIdle()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after Cancel")
+	}
+}
+
+func TestCancelFiredEventIsNoop(t *testing.T) {
+	var e Engine
+	ev := e.Schedule(10, func(Time) {})
+	e.RunUntilIdle()
+	if e.Cancel(ev) {
+		t.Fatal("Cancel of fired event returned true")
+	}
+}
+
+func TestEventsScheduledDuringEvent(t *testing.T) {
+	var e Engine
+	var fired []Time
+	e.Schedule(10, func(now Time) {
+		fired = append(fired, now)
+		e.Schedule(now+5, func(now2 Time) { fired = append(fired, now2) })
+	})
+	e.AdvanceTo(20)
+	if len(fired) != 2 || fired[0] != 10 || fired[1] != 15 {
+		t.Fatalf("fired = %v, want [10 15]", fired)
+	}
+}
+
+func TestNestedEventBeyondHorizonStaysPending(t *testing.T) {
+	var e Engine
+	fired := false
+	e.Schedule(10, func(now Time) {
+		e.Schedule(now+100, func(Time) { fired = true })
+	})
+	e.AdvanceTo(50)
+	if fired {
+		t.Fatal("event beyond AdvanceTo horizon fired early")
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+}
+
+func TestStepOne(t *testing.T) {
+	var e Engine
+	count := 0
+	e.Schedule(5, func(Time) { count++ })
+	e.Schedule(9, func(Time) { count++ })
+	if !e.StepOne() {
+		t.Fatal("StepOne returned false with pending events")
+	}
+	if count != 1 || e.Now() != 5 {
+		t.Fatalf("after StepOne: count=%d now=%v", count, e.Now())
+	}
+	if !e.StepOne() || e.Now() != 9 {
+		t.Fatalf("second StepOne: now=%v", e.Now())
+	}
+	if e.StepOne() {
+		t.Fatal("StepOne returned true on empty queue")
+	}
+}
+
+func TestNextEventTime(t *testing.T) {
+	var e Engine
+	if _, ok := e.NextEventTime(); ok {
+		t.Fatal("NextEventTime ok on empty queue")
+	}
+	e.Schedule(42, func(Time) {})
+	if at, ok := e.NextEventTime(); !ok || at != 42 {
+		t.Fatalf("NextEventTime = %v,%v want 42,true", at, ok)
+	}
+}
+
+func TestScheduleAfterClampsNegative(t *testing.T) {
+	var e Engine
+	e.Advance(10)
+	ev := e.ScheduleAfter(-5, func(Time) {})
+	if ev.At != 10 {
+		t.Fatalf("ScheduleAfter(-5) at %v, want now (10)", ev.At)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	var e Engine
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), func(Time) {})
+	}
+	e.RunUntilIdle()
+	if e.Scheduled() != 5 || e.Fired() != 5 || e.Pending() != 0 {
+		t.Fatalf("counters: sched=%d fired=%d pending=%d", e.Scheduled(), e.Fired(), e.Pending())
+	}
+}
+
+// Property: events always fire in non-decreasing timestamp order regardless
+// of insertion order.
+func TestFiringOrderProperty(t *testing.T) {
+	f := func(times []uint16) bool {
+		var e Engine
+		var fired []Time
+		for _, ti := range times {
+			e.Schedule(Time(ti), func(now Time) { fired = append(fired, now) })
+		}
+		e.RunUntilIdle()
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return len(fired) == len(times)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,159 @@
+package storage
+
+import (
+	"testing"
+
+	"itsim/internal/bus"
+	"itsim/internal/sim"
+)
+
+// fastLink returns a link so fast transfer time is negligible but nonzero.
+func fastLink() *bus.Link {
+	return bus.New(4, bus.DefaultLaneBandwidth)
+}
+
+func TestDefaultsApplied(t *testing.T) {
+	d := New(Config{}, nil)
+	cfg := d.Config()
+	if cfg.ReadLatency != DefaultReadLatency || cfg.WriteLatency != DefaultWriteLatency ||
+		cfg.Channels != DefaultChannels {
+		t.Fatalf("defaults not applied: %+v", cfg)
+	}
+	if d.Link() == nil {
+		t.Fatal("nil link not replaced")
+	}
+}
+
+func TestReadLatency(t *testing.T) {
+	d := New(DefaultConfig(), fastLink())
+	done := d.SubmitPage(0, Read, 0)
+	// setup (200ns) + flash read (3µs) + bus (~257ns)
+	lo := 3*sim.Microsecond + 200*sim.Nanosecond
+	hi := lo + 400*sim.Nanosecond
+	if done < lo || done > hi {
+		t.Fatalf("read done at %v, want in [%v, %v]", done, lo, hi)
+	}
+}
+
+func TestChannelQueueing(t *testing.T) {
+	d := New(DefaultConfig(), fastLink())
+	// Two reads to the same channel (same slot mod channels) serialize.
+	d1 := d.SubmitPage(0, Read, 0)
+	d2 := d.SubmitPage(0, Read, uint64(DefaultChannels)) // same channel
+	if d2 <= d1 {
+		t.Fatalf("same-channel read not queued: %v then %v", d1, d2)
+	}
+	if d2-d1 < DefaultReadLatency {
+		t.Fatalf("second read gained only %v, want ≥ %v", d2-d1, DefaultReadLatency)
+	}
+	if d.Stats().QueueDelay == 0 {
+		t.Fatal("queue delay not recorded")
+	}
+}
+
+func TestChannelParallelism(t *testing.T) {
+	d := New(DefaultConfig(), fastLink())
+	// Reads on distinct channels overlap: completion spread dominated by
+	// the shared bus only.
+	var last sim.Time
+	for slot := uint64(0); slot < uint64(DefaultChannels); slot++ {
+		done := d.SubmitPage(0, Read, slot)
+		if done > last {
+			last = done
+		}
+	}
+	// All flash reads overlap; the 8 bus transfers serialize (~257ns each).
+	budget := 200*sim.Nanosecond + DefaultReadLatency + 8*300*sim.Nanosecond
+	if last > budget {
+		t.Fatalf("parallel reads finished at %v, want ≤ %v", last, budget)
+	}
+}
+
+func TestWritesDoNotBlockReads(t *testing.T) {
+	d := New(DefaultConfig(), fastLink())
+	d.SubmitPage(0, Write, 3)
+	read := d.SubmitPage(0, Read, 3) // same channel as the write
+	budget := 200*sim.Nanosecond + DefaultReadLatency + 600*sim.Nanosecond
+	if read > budget {
+		t.Fatalf("read blocked behind write: done at %v, want ≤ %v (program-suspend)", read, budget)
+	}
+}
+
+func TestReadsBlockLaterReadsOnChannel(t *testing.T) {
+	d := New(DefaultConfig(), fastLink())
+	d.SubmitPage(0, Read, 5)
+	if d.FreeChannelAt(5, 0) {
+		t.Fatal("channel reported free while read in flight")
+	}
+	if d.FreeChannelAt(5, 10*sim.Microsecond) != true {
+		t.Fatal("channel reported busy after read drained")
+	}
+	if !d.FreeChannelAt(6, 0) {
+		t.Fatal("other channel reported busy")
+	}
+}
+
+func TestWriteAccounting(t *testing.T) {
+	d := New(DefaultConfig(), fastLink())
+	done := d.SubmitPage(0, Write, 1)
+	if done < DefaultWriteLatency {
+		t.Fatalf("write done at %v, want ≥ program time %v", done, DefaultWriteLatency)
+	}
+	st := d.Stats()
+	if st.Writes != 1 || st.BytesWritten != 4096 || st.Reads != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestStatsCounts(t *testing.T) {
+	d := New(DefaultConfig(), fastLink())
+	for i := uint64(0); i < 5; i++ {
+		d.SubmitPage(sim.Time(i)*10*sim.Microsecond, Read, i)
+	}
+	st := d.Stats()
+	if st.Reads != 5 || st.BytesRead != 5*4096 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if d.Requests() != 5 {
+		t.Fatalf("Requests = %d", d.Requests())
+	}
+}
+
+func TestNonPositiveSizePanics(t *testing.T) {
+	d := New(DefaultConfig(), fastLink())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero-size submit did not panic")
+		}
+	}()
+	d.Submit(0, Read, 0, 0)
+}
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "read" || Write.String() != "write" {
+		t.Fatal("Op strings wrong")
+	}
+}
+
+func TestSlotAllocator(t *testing.T) {
+	var s SlotAllocator
+	for i := uint64(0); i < 100; i++ {
+		if got := s.Alloc(); got != i {
+			t.Fatalf("Alloc #%d = %d", i, got)
+		}
+	}
+	if s.Allocated() != 100 {
+		t.Fatalf("Allocated = %d", s.Allocated())
+	}
+}
+
+func TestSlotStripingCoversChannels(t *testing.T) {
+	d := New(Config{Channels: 4}, fastLink())
+	seen := map[int]bool{}
+	for slot := uint64(0); slot < 8; slot++ {
+		seen[d.channelOf(slot)] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("striping used %d channels, want 4", len(seen))
+	}
+}

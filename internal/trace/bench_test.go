@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+)
+
+func benchRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Addr: uint64(i) * 64, Gap: uint32(i % 50), Size: 8, Kind: Kind(i % 2), Dst: uint8(i % 16), Src: uint8((i + 1) % 16)}
+	}
+	return recs
+}
+
+func BenchmarkWrite(b *testing.B) {
+	recs := benchRecords(10000)
+	g := NewSliceGenerator("bench", recs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, g); err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(int64(buf.Len()))
+	}
+}
+
+func BenchmarkRead(b *testing.B) {
+	recs := benchRecords(10000)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, NewSliceGenerator("bench", recs)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ReadAll(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadAll: arbitrary bytes must never panic the ITRC parser — corrupt
+// trace files fail with ErrBadFormat, not a crash.
+func FuzzReadAll(f *testing.F) {
+	// Seed with a valid trace and a few mutations.
+	var buf bytes.Buffer
+	recs := []Record{
+		{Addr: 0x1000, Gap: 3, Size: 8, Kind: Load, Dst: 1, Src: 2},
+		{Addr: 0x2000, Gap: 0, Size: 4, Kind: Store, Dst: 3, Src: 4},
+	}
+	if err := WriteAll(&buf, NewSliceGenerator("seed", recs)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte("ITRC"))
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)-1])
+	truncHdr := append([]byte(nil), valid[:10]...)
+	f.Add(truncHdr)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Parsed traces must be internally consistent.
+		if g.Len() < 0 {
+			t.Fatalf("negative length")
+		}
+		_ = Records(g)
+	})
+}
+
+// FuzzParseLackey: arbitrary text must never panic the Lackey importer.
+func FuzzParseLackey(f *testing.F) {
+	f.Add("I  0023C790,2\n L 04222C48,4\n")
+	f.Add(" M 0421C7AC,4\n")
+	f.Add("garbage\n L zz,4\n")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, s string) {
+		g, err := ParseLackey(strings.NewReader(s), "fuzz")
+		if err != nil {
+			return
+		}
+		for _, r := range Records(g) {
+			if r.Size == 0 || r.Size > 64 {
+				t.Fatalf("bad size %d", r.Size)
+			}
+		}
+	})
+}

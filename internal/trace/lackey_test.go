@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+const lackeySample = `==12345== Lackey, an example Valgrind tool
+I  0023C790,2
+I  0023C792,5
+ L 04222C48,4
+I  0023C797,3
+ S 04222C14,8
+ M 0421C7AC,4
+I  0023C79A,6
+==12345== some diagnostic
+ L 0421C7B0,2
+`
+
+func TestParseLackey(t *testing.T) {
+	g, err := ParseLackey(strings.NewReader(lackeySample), "sample")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := Records(g)
+	// L, S, M (→ L+S), L = 5 records.
+	if len(recs) != 5 {
+		t.Fatalf("%d records, want 5: %+v", len(recs), recs)
+	}
+	if recs[0].Kind != Load || recs[0].Addr != 0x04222C48 || recs[0].Size != 4 {
+		t.Fatalf("first record %+v", recs[0])
+	}
+	// Two instruction fetches preceded the first load.
+	if recs[0].Gap != 2 {
+		t.Fatalf("first gap %d, want 2", recs[0].Gap)
+	}
+	if recs[1].Kind != Store || recs[1].Gap != 1 || recs[1].Size != 8 {
+		t.Fatalf("second record %+v", recs[1])
+	}
+	// Modify expands to load+store at the same address.
+	if recs[2].Kind != Load || recs[3].Kind != Store || recs[2].Addr != recs[3].Addr {
+		t.Fatalf("modify expansion wrong: %+v %+v", recs[2], recs[3])
+	}
+	// The diagnostic line was skipped; final load got the 1 I-line gap...
+	if recs[4].Kind != Load || recs[4].Addr != 0x0421C7B0 {
+		t.Fatalf("final record %+v", recs[4])
+	}
+	if recs[4].Gap != 1 {
+		t.Fatalf("final gap %d, want 1", recs[4].Gap)
+	}
+	if g.Name() != "sample" {
+		t.Fatalf("name %q", g.Name())
+	}
+}
+
+func TestParseLackeyEmptyErrors(t *testing.T) {
+	if _, err := ParseLackey(strings.NewReader("no ops here\n"), "x"); err == nil {
+		t.Fatal("opless input accepted")
+	}
+	if _, err := ParseLackey(strings.NewReader(""), "x"); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestParseLackeyMalformedOperands(t *testing.T) {
+	in := ` L zzzz,4
+ L 1000,
+ L ,4
+ L 1000,0
+ L 2000,4
+`
+	g, err := ParseLackey(strings.NewReader(in), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := Records(g)
+	if len(recs) != 1 || recs[0].Addr != 0x2000 {
+		t.Fatalf("malformed lines not skipped: %+v", recs)
+	}
+}
+
+func TestParseLackeySizeClamped(t *testing.T) {
+	g, err := ParseLackey(strings.NewReader(" L 1000,200\n"), "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recs := Records(g); recs[0].Size != 64 {
+		t.Fatalf("size %d, want clamped 64", recs[0].Size)
+	}
+}
+
+func TestParseLackeyRoundTripsThroughITRC(t *testing.T) {
+	g, err := ParseLackey(strings.NewReader(lackeySample), "rt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := WriteAll(&sb, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := Records(g), Records(back)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("record %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+package trace
+
+// Stats summarizes a trace: the simulator's sizing code uses the page-level
+// footprint and the working set to configure DRAM pressure the way the
+// paper's §4.1 does ("DRAM size is tailored to match the working set").
+type Stats struct {
+	Name        string
+	Records     int
+	Loads       int
+	Stores      int
+	Instrs      uint64 // total instructions = records + sum(gaps)
+	UniquePages int    // distinct 4 KiB pages touched
+	MinAddr     uint64
+	MaxAddr     uint64
+}
+
+// PageSize is the simulated page size in bytes (Linux 4.4 default, 4 KiB).
+const PageSize = 4096
+
+// PageShift is log2(PageSize).
+const PageShift = 12
+
+// PageOf returns the virtual page number containing addr.
+func PageOf(addr uint64) uint64 { return addr >> PageShift }
+
+// Analyze runs gen to completion and returns summary statistics. The
+// generator is Reset before and after.
+func Analyze(gen Generator) Stats {
+	gen.Reset()
+	st := Stats{Name: gen.Name(), MinAddr: ^uint64(0)}
+	pages := make(map[uint64]struct{})
+	var r Record
+	for gen.Next(&r) {
+		st.Records++
+		if r.Kind == Store {
+			st.Stores++
+		} else {
+			st.Loads++
+		}
+		st.Instrs += uint64(r.Gap) + 1
+		if r.Addr < st.MinAddr {
+			st.MinAddr = r.Addr
+		}
+		if r.Addr > st.MaxAddr {
+			st.MaxAddr = r.Addr
+		}
+		pages[PageOf(r.Addr)] = struct{}{}
+	}
+	st.UniquePages = len(pages)
+	if st.Records == 0 {
+		st.MinAddr = 0
+	}
+	gen.Reset()
+	return st
+}
+
+// FootprintPages converts a byte footprint to whole pages, rounding up.
+func FootprintPages(bytes uint64) uint64 {
+	return (bytes + PageSize - 1) / PageSize
+}

@@ -1,0 +1,145 @@
+// Package trace defines the memory-access trace model the simulator
+// consumes, mirroring the paper's Valgrind-captured virtual-address streams.
+//
+// A trace is a finite sequence of Records. Each record is one memory access
+// (load or store) to a virtual address, annotated with the number of
+// non-memory instructions executed since the previous access (the "gap") and
+// a compact register-dependency hint used by the fault-aware pre-execute
+// engine to propagate INV (invalid) marks (paper §3.4.2).
+//
+// Traces are produced either lazily by the synthetic generators in
+// internal/workload or read back from the binary file format implemented in
+// this package (see Writer/Reader), so externally captured traces can be
+// substituted without touching the simulator.
+package trace
+
+// Kind distinguishes load and store accesses.
+type Kind uint8
+
+const (
+	// Load reads memory into a destination register.
+	Load Kind = iota
+	// Store writes a source register to memory.
+	Store
+)
+
+// String returns "load" or "store".
+func (k Kind) String() string {
+	if k == Store {
+		return "store"
+	}
+	return "load"
+}
+
+// NumRegs is the size of the simulated architectural register file. x86-64
+// has 16 general-purpose registers; the generators emit register ids in
+// [0, NumRegs).
+const NumRegs = 16
+
+// Record is one simulated memory access.
+type Record struct {
+	// Addr is the virtual byte address accessed.
+	Addr uint64
+	// Gap is the number of non-memory instructions executed before this
+	// access since the previous record. The machine charges
+	// Gap × (ns per instruction) of pure compute time.
+	Gap uint32
+	// Size is the access width in bytes (1..64). Generators default to 8.
+	Size uint8
+	// Kind is Load or Store.
+	Kind Kind
+	// Dst is the destination register of a load (ignored for stores).
+	Dst uint8
+	// Src is the source register: the value stored (stores) or the address
+	// base register (loads). The pre-execute engine uses Src/Dst to chain
+	// INV propagation between dependent instructions.
+	Src uint8
+}
+
+// Generator produces a trace lazily. Implementations must be deterministic:
+// after Reset, the exact same record sequence is produced again.
+type Generator interface {
+	// Name identifies the workload (e.g. "randomwalk").
+	Name() string
+	// Next fills rec with the next record and returns true, or returns
+	// false when the trace is exhausted (rec is then unspecified).
+	Next(rec *Record) bool
+	// Reset rewinds the generator to the beginning of its sequence.
+	Reset()
+	// Len returns the total number of records the generator will produce.
+	Len() int
+	// FootprintBytes returns the size of the virtual region the trace
+	// touches (an upper bound on bytes accessed).
+	FootprintBytes() uint64
+}
+
+// SliceGenerator adapts an in-memory []Record to the Generator interface.
+// It is the natural form for hand-written tests and for traces loaded from
+// files.
+type SliceGenerator struct {
+	name    string
+	recs    []Record
+	pos     int
+	footpr  uint64
+	footSet bool
+}
+
+// NewSliceGenerator wraps recs. The footprint is computed on first use from
+// the max address touched unless SetFootprint is called.
+func NewSliceGenerator(name string, recs []Record) *SliceGenerator {
+	return &SliceGenerator{name: name, recs: recs}
+}
+
+// SetFootprint overrides the reported footprint.
+func (g *SliceGenerator) SetFootprint(bytes uint64) {
+	g.footpr = bytes
+	g.footSet = true
+}
+
+// Name implements Generator.
+func (g *SliceGenerator) Name() string { return g.name }
+
+// Len implements Generator.
+func (g *SliceGenerator) Len() int { return len(g.recs) }
+
+// Reset implements Generator.
+func (g *SliceGenerator) Reset() { g.pos = 0 }
+
+// Next implements Generator.
+func (g *SliceGenerator) Next(rec *Record) bool {
+	if g.pos >= len(g.recs) {
+		return false
+	}
+	*rec = g.recs[g.pos]
+	g.pos++
+	return true
+}
+
+// FootprintBytes implements Generator.
+func (g *SliceGenerator) FootprintBytes() uint64 {
+	if g.footSet {
+		return g.footpr
+	}
+	var max uint64
+	for i := range g.recs {
+		end := g.recs[i].Addr + uint64(g.recs[i].Size)
+		if end > max {
+			max = end
+		}
+	}
+	g.footpr = max
+	g.footSet = true
+	return g.footpr
+}
+
+// Records drains gen into a slice. Intended for tests and tools; production
+// simulation streams records without materializing them.
+func Records(gen Generator) []Record {
+	gen.Reset()
+	out := make([]Record, 0, gen.Len())
+	var r Record
+	for gen.Next(&r) {
+		out = append(out, r)
+	}
+	return out
+}

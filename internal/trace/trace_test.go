@@ -1,0 +1,234 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func sampleRecords() []Record {
+	return []Record{
+		{Addr: 0x1000, Gap: 3, Size: 8, Kind: Load, Dst: 1, Src: 2},
+		{Addr: 0x1040, Gap: 0, Size: 4, Kind: Store, Dst: 0, Src: 1},
+		{Addr: 0x0800, Gap: 100, Size: 8, Kind: Load, Dst: 15, Src: 14},
+		{Addr: 0xFFFF_F000, Gap: 7, Size: 1, Kind: Store, Dst: 3, Src: 3},
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Load.String() != "load" || Store.String() != "store" {
+		t.Fatalf("Kind strings wrong: %q %q", Load, Store)
+	}
+}
+
+func TestSliceGeneratorRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	g := NewSliceGenerator("sample", recs)
+	if g.Name() != "sample" || g.Len() != len(recs) {
+		t.Fatalf("Name/Len wrong: %s %d", g.Name(), g.Len())
+	}
+	got := Records(g)
+	if len(got) != len(recs) {
+		t.Fatalf("Records len %d, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+	// Reset and drain again: identical.
+	again := Records(g)
+	for i := range again {
+		if again[i] != recs[i] {
+			t.Fatalf("after Reset, record %d differs", i)
+		}
+	}
+}
+
+func TestSliceGeneratorFootprint(t *testing.T) {
+	g := NewSliceGenerator("f", sampleRecords())
+	want := uint64(0xFFFF_F000 + 1)
+	if got := g.FootprintBytes(); got != want {
+		t.Fatalf("FootprintBytes = %#x, want %#x", got, want)
+	}
+	g.SetFootprint(123)
+	if got := g.FootprintBytes(); got != 123 {
+		t.Fatalf("SetFootprint not honoured: %d", got)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	recs := sampleRecords()
+	g := NewSliceGenerator("roundtrip", recs)
+	g.SetFootprint(4096 * 10)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name() != "roundtrip" {
+		t.Fatalf("name = %q", back.Name())
+	}
+	if back.FootprintBytes() != 4096*10 {
+		t.Fatalf("footprint = %d", back.FootprintBytes())
+	}
+	got := Records(back)
+	if len(got) != len(recs) {
+		t.Fatalf("len = %d, want %d", len(got), len(recs))
+	}
+	for i := range got {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestFileRoundTripProperty(t *testing.T) {
+	f := func(addrs []uint32, gaps []uint16) bool {
+		n := len(addrs)
+		if len(gaps) < n {
+			n = len(gaps)
+		}
+		recs := make([]Record, 0, n)
+		for i := 0; i < n; i++ {
+			k := Load
+			if addrs[i]%3 == 0 {
+				k = Store
+			}
+			recs = append(recs, Record{
+				Addr: uint64(addrs[i]),
+				Gap:  uint32(gaps[i]),
+				Size: uint8(1 + addrs[i]%64),
+				Kind: k,
+				Dst:  uint8(addrs[i] % 16),
+				Src:  uint8(gaps[i] % 16),
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteAll(&buf, NewSliceGenerator("p", recs)); err != nil {
+			return false
+		}
+		back, err := ReadAll(&buf)
+		if err != nil {
+			return false
+		}
+		got := Records(back)
+		if len(got) != len(recs) {
+			return false
+		}
+		for i := range got {
+			if got[i] != recs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWriterCountValidation(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "bad", 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Record{Addr: 1, Size: 8}
+	if err := w.Write(&r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close accepted short trace")
+	}
+}
+
+func TestWriterOverflowRejected(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, "bad", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := Record{Addr: 1, Size: 8}
+	if err := w.Write(&r); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write(&r); err == nil {
+		t.Fatal("Write accepted more records than declared")
+	}
+}
+
+func TestReaderRejectsGarbage(t *testing.T) {
+	if _, err := ReadAll(bytes.NewReader([]byte("not a trace file"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := ReadAll(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReaderRejectsTruncated(t *testing.T) {
+	recs := sampleRecords()
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, NewSliceGenerator("t", recs)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{len(full) - 1, len(full) - 3, 30} {
+		if cut <= 24 {
+			continue
+		}
+		if _, err := ReadAll(bytes.NewReader(full[:cut])); err == nil {
+			t.Fatalf("truncated stream (len %d of %d) accepted", cut, len(full))
+		}
+	}
+}
+
+func TestDefaultSizeEncodesAsEight(t *testing.T) {
+	recs := []Record{{Addr: 64, Kind: Load}} // Size 0 → written as 8
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, NewSliceGenerator("z", recs)); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadAll(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Records(back)
+	if got[0].Size != 8 {
+		t.Fatalf("zero Size round-tripped as %d, want 8", got[0].Size)
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	recs := []Record{
+		{Addr: 0, Gap: 10, Size: 8, Kind: Load},
+		{Addr: PageSize, Gap: 5, Size: 8, Kind: Store},
+		{Addr: PageSize + 8, Gap: 0, Size: 8, Kind: Load},
+	}
+	st := Analyze(NewSliceGenerator("a", recs))
+	if st.Records != 3 || st.Loads != 2 || st.Stores != 1 {
+		t.Fatalf("counts wrong: %+v", st)
+	}
+	if st.UniquePages != 2 {
+		t.Fatalf("UniquePages = %d, want 2", st.UniquePages)
+	}
+	if st.Instrs != 10+5+0+3 {
+		t.Fatalf("Instrs = %d, want 18", st.Instrs)
+	}
+	if st.MinAddr != 0 || st.MaxAddr != PageSize+8 {
+		t.Fatalf("addr range wrong: %+v", st)
+	}
+}
+
+func TestPageHelpers(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(4095) != 0 || PageOf(4096) != 1 {
+		t.Fatal("PageOf wrong")
+	}
+	if FootprintPages(0) != 0 || FootprintPages(1) != 1 || FootprintPages(4096) != 1 || FootprintPages(4097) != 2 {
+		t.Fatal("FootprintPages wrong")
+	}
+}

@@ -1,0 +1,400 @@
+// Package algo provides algorithm-driven trace generators: instead of
+// sampling an access-pattern distribution (internal/workload's calibrated
+// synthetic generators), these actually run graph algorithms — random walk,
+// page rank, and a BFS-based single-source shortest path — over a synthetic
+// scale-free graph laid out in CSR form in a simulated heap, and emit the
+// virtual addresses the real data structures would touch.
+//
+// They model the paper's three data-intensive applications (GraphChi random
+// walk and page rank, Graph500 SSSP) at higher fidelity than the calibrated
+// profiles: the row-pointer array is streamed, adjacency lists are scanned
+// sequentially, and per-vertex value arrays are hit in vertex-id order —
+// which is scattered, because scale-free adjacency targets are.
+//
+// The calibrated generators remain the default for the paper's figures
+// (EXPERIMENTS.md is calibrated against them); these are for exploration
+// and for validating that the calibrated locality classes are sane.
+package algo
+
+import (
+	"fmt"
+
+	"itsim/internal/prng"
+	"itsim/internal/trace"
+)
+
+// Heap layout constants. The graph lives at Base:
+//
+//	rowPtr  [N+1]uint64  — CSR row offsets        (8 B per vertex)
+//	adj     [E]uint32    — CSR adjacency targets  (4 B per edge)
+//	valueA  [N]float64   — primary per-vertex value (rank, dist, …)
+//	valueB  [N]float64   — secondary per-vertex value (next rank, parent)
+const (
+	// Base is the graph heap's starting virtual address.
+	Base = uint64(0x2000_0000)
+)
+
+// Graph is a synthetic scale-free graph in CSR layout with an explicit
+// virtual-address map of its arrays.
+type Graph struct {
+	N      int
+	rowPtr []uint32 // edge index of each vertex's first edge (len N+1)
+	adj    []uint32 // concatenated adjacency targets
+
+	rowPtrVA uint64
+	adjVA    uint64
+	valueAVA uint64
+	valueBVA uint64
+	footend  uint64
+}
+
+// Generate builds a graph of n vertices with roughly avgDeg out-edges per
+// vertex. Targets follow a Zipf-like popularity (scale-free hubs), scattered
+// over the id space with a bijective permutation so hub ids are not
+// contiguous. Deterministic in seed.
+func Generate(n, avgDeg int, seed uint64) *Graph {
+	if n < 2 {
+		panic(fmt.Sprintf("algo: graph needs ≥ 2 vertices, got %d", n))
+	}
+	if avgDeg < 1 {
+		avgDeg = 1
+	}
+	rng := prng.New(seed)
+	g := &Graph{N: n}
+	g.rowPtr = make([]uint32, n+1)
+	g.adj = make([]uint32, 0, n*avgDeg)
+	for v := 0; v < n; v++ {
+		g.rowPtr[v] = uint32(len(g.adj))
+		// Degree varies 1..2*avgDeg.
+		deg := 1 + rng.Intn(2*avgDeg)
+		for k := 0; k < deg; k++ {
+			t := rng.Zipf(n, 0.7)
+			t = int((uint64(t) * 2654435761) % uint64(n)) // scatter hubs
+			if t == v {
+				t = (t + 1) % n
+			}
+			g.adj = append(g.adj, uint32(t))
+		}
+	}
+	g.rowPtr[n] = uint32(len(g.adj))
+
+	g.rowPtrVA = Base
+	g.adjVA = align(g.rowPtrVA+uint64(n+1)*8, 4096)
+	g.valueAVA = align(g.adjVA+uint64(len(g.adj))*4, 4096)
+	g.valueBVA = align(g.valueAVA+uint64(n)*8, 4096)
+	g.footend = align(g.valueBVA+uint64(n)*8, 4096)
+	return g
+}
+
+func align(x, a uint64) uint64 { return (x + a - 1) &^ (a - 1) }
+
+// Edges returns the edge count.
+func (g *Graph) Edges() int { return len(g.adj) }
+
+// FootprintBytes returns the heap size from Base to the end of the arrays.
+func (g *Graph) FootprintBytes() uint64 { return g.footend - Base }
+
+// Address helpers.
+func (g *Graph) rowPtrAddr(v int) uint64 { return g.rowPtrVA + uint64(v)*8 }
+func (g *Graph) adjAddr(e int) uint64    { return g.adjVA + uint64(e)*4 }
+func (g *Graph) valueAAddr(v int) uint64 { return g.valueAVA + uint64(v)*8 }
+func (g *Graph) valueBAddr(v int) uint64 { return g.valueBVA + uint64(v)*8 }
+
+// neighbors returns the CSR slice bounds of v's adjacency.
+func (g *Graph) neighbors(v int) (lo, hi int) {
+	return int(g.rowPtr[v]), int(g.rowPtr[v+1])
+}
+
+// emitter accumulates records for one algorithm step; the concrete
+// generators drain it on Next.
+type emitter struct {
+	rng     *prng.Source
+	lastDst uint8
+	queue   []trace.Record
+	qhead   int
+}
+
+func (e *emitter) reset(seed uint64) {
+	e.rng = prng.New(seed)
+	e.lastDst = 0
+	e.queue = e.queue[:0]
+	e.qhead = 0
+}
+
+func (e *emitter) pending() bool { return e.qhead < len(e.queue) }
+
+func (e *emitter) pop(rec *trace.Record) {
+	*rec = e.queue[e.qhead]
+	e.qhead++
+	if e.qhead == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.qhead = 0
+	}
+}
+
+// emit queues one access with a small random compute gap and chained
+// registers (the next record's source tends to be the previous destination,
+// mirroring address-generation dependencies).
+func (e *emitter) emit(addr uint64, kind trace.Kind, size uint8, gapMean int) {
+	gap := uint32(e.rng.Intn(gapMean+1) + e.rng.Intn(gapMean+1))
+	dst := uint8(e.rng.Intn(trace.NumRegs))
+	src := uint8(e.rng.Intn(trace.NumRegs))
+	if e.rng.Bool(0.5) {
+		src = e.lastDst
+	}
+	e.queue = append(e.queue, trace.Record{
+		Addr: addr, Kind: kind, Size: size, Gap: gap, Dst: dst, Src: src,
+	})
+	if kind == trace.Load {
+		e.lastDst = dst
+	}
+}
+
+// RandomWalk runs w independent walkers over the graph: each step loads the
+// current vertex's row pointers, one random adjacency entry, and the target
+// vertex's value (read-mostly) — the canonical memory-hostile pattern.
+type RandomWalk struct {
+	g       *Graph
+	walkers int
+	records int
+	seed    uint64
+
+	em      emitter
+	pos     []int
+	emitted int
+	turn    int
+}
+
+// NewRandomWalk builds a random-walk tracer producing exactly records
+// accesses with the given walker count.
+func NewRandomWalk(g *Graph, walkers, records int, seed uint64) *RandomWalk {
+	if walkers < 1 {
+		walkers = 1
+	}
+	rw := &RandomWalk{g: g, walkers: walkers, records: records, seed: seed}
+	rw.Reset()
+	return rw
+}
+
+// Name implements trace.Generator.
+func (rw *RandomWalk) Name() string { return "algo_randomwalk" }
+
+// Len implements trace.Generator.
+func (rw *RandomWalk) Len() int { return rw.records }
+
+// FootprintBytes implements trace.Generator.
+func (rw *RandomWalk) FootprintBytes() uint64 { return rw.g.FootprintBytes() }
+
+// Reset implements trace.Generator.
+func (rw *RandomWalk) Reset() {
+	rw.em.reset(rw.seed)
+	rw.pos = rw.pos[:0]
+	for i := 0; i < rw.walkers; i++ {
+		rw.pos = append(rw.pos, rw.em.rng.Intn(rw.g.N))
+	}
+	rw.emitted = 0
+	rw.turn = 0
+}
+
+// Next implements trace.Generator.
+func (rw *RandomWalk) Next(rec *trace.Record) bool {
+	if rw.emitted >= rw.records {
+		return false
+	}
+	for !rw.em.pending() {
+		rw.step()
+	}
+	rw.em.pop(rec)
+	rw.emitted++
+	return true
+}
+
+func (rw *RandomWalk) step() {
+	g := rw.g
+	w := rw.turn % rw.walkers
+	rw.turn++
+	v := rw.pos[w]
+	lo, hi := g.neighbors(v)
+	rw.em.emit(g.rowPtrAddr(v), trace.Load, 8, 4) // rowPtr[v], rowPtr[v+1]
+	if hi <= lo {
+		rw.pos[w] = rw.em.rng.Intn(g.N)
+		return
+	}
+	e := lo + rw.em.rng.Intn(hi-lo)
+	rw.em.emit(g.adjAddr(e), trace.Load, 4, 3) // adj[e]
+	next := int(g.adj[e])
+	rw.em.emit(g.valueAAddr(next), trace.Load, 8, 5) // value[next]
+	if rw.em.rng.Bool(0.1) {
+		rw.em.emit(g.valueBAddr(next), trace.Store, 8, 3) // visit counter
+	}
+	rw.pos[w] = next
+}
+
+// PageRank sweeps vertices in order: the row-pointer and adjacency arrays
+// stream sequentially, while rank reads of adjacency targets scatter — the
+// paper's page-rank locality class.
+type PageRank struct {
+	g       *Graph
+	records int
+	seed    uint64
+
+	em      emitter
+	v       int
+	emitted int
+}
+
+// NewPageRank builds a page-rank tracer producing exactly records accesses.
+func NewPageRank(g *Graph, records int, seed uint64) *PageRank {
+	pr := &PageRank{g: g, records: records, seed: seed}
+	pr.Reset()
+	return pr
+}
+
+// Name implements trace.Generator.
+func (pr *PageRank) Name() string { return "algo_pagerank" }
+
+// Len implements trace.Generator.
+func (pr *PageRank) Len() int { return pr.records }
+
+// FootprintBytes implements trace.Generator.
+func (pr *PageRank) FootprintBytes() uint64 { return pr.g.FootprintBytes() }
+
+// Reset implements trace.Generator.
+func (pr *PageRank) Reset() {
+	pr.em.reset(pr.seed)
+	pr.v = 0
+	pr.emitted = 0
+}
+
+// Next implements trace.Generator.
+func (pr *PageRank) Next(rec *trace.Record) bool {
+	if pr.emitted >= pr.records {
+		return false
+	}
+	for !pr.em.pending() {
+		pr.step()
+	}
+	pr.em.pop(rec)
+	pr.emitted++
+	return true
+}
+
+func (pr *PageRank) step() {
+	g := pr.g
+	v := pr.v
+	pr.v = (pr.v + 1) % g.N
+	lo, hi := g.neighbors(v)
+	pr.em.emit(g.rowPtrAddr(v), trace.Load, 8, 3)
+	sumEdges := hi - lo
+	if sumEdges > 8 {
+		sumEdges = 8 // cap per-step fan-out to bound the queue
+	}
+	for k := 0; k < sumEdges; k++ {
+		e := lo + k
+		pr.em.emit(g.adjAddr(e), trace.Load, 4, 2) // sequential edge scan
+		t := int(g.adj[e])
+		pr.em.emit(g.valueAAddr(t), trace.Load, 8, 3) // scattered rank read
+	}
+	pr.em.emit(g.valueBAddr(v), trace.Store, 8, 6) // next-rank write
+}
+
+// SSSP runs BFS-style frontier expansion (a unit-weight single-source
+// shortest path, the Graph500 kernel): pop a vertex, stream its adjacency,
+// check-and-update scattered distance entries, push newly reached vertices.
+type SSSP struct {
+	g       *Graph
+	records int
+	seed    uint64
+
+	em       emitter
+	dist     []int32
+	frontier []int32
+	fhead    int
+	emitted  int
+	source   int
+}
+
+// NewSSSP builds an SSSP tracer producing exactly records accesses.
+func NewSSSP(g *Graph, records int, seed uint64) *SSSP {
+	s := &SSSP{g: g, records: records, seed: seed}
+	s.Reset()
+	return s
+}
+
+// Name implements trace.Generator.
+func (s *SSSP) Name() string { return "algo_sssp" }
+
+// Len implements trace.Generator.
+func (s *SSSP) Len() int { return s.records }
+
+// FootprintBytes implements trace.Generator.
+func (s *SSSP) FootprintBytes() uint64 { return s.g.FootprintBytes() }
+
+// Reset implements trace.Generator.
+func (s *SSSP) Reset() {
+	s.em.reset(s.seed)
+	s.restart()
+	s.emitted = 0
+}
+
+func (s *SSSP) restart() {
+	if s.dist == nil {
+		s.dist = make([]int32, s.g.N)
+	}
+	for i := range s.dist {
+		s.dist[i] = -1
+	}
+	s.source = s.em.rng.Intn(s.g.N)
+	s.dist[s.source] = 0
+	s.frontier = append(s.frontier[:0], int32(s.source))
+	s.fhead = 0
+}
+
+// Next implements trace.Generator.
+func (s *SSSP) Next(rec *trace.Record) bool {
+	if s.emitted >= s.records {
+		return false
+	}
+	for !s.em.pending() {
+		s.step()
+	}
+	s.em.pop(rec)
+	s.emitted++
+	return true
+}
+
+func (s *SSSP) step() {
+	g := s.g
+	if s.fhead >= len(s.frontier) {
+		// BFS exhausted: restart from a new source (Graph500 runs many
+		// roots).
+		s.restart()
+	}
+	v := int(s.frontier[s.fhead])
+	s.fhead++
+	lo, hi := g.neighbors(v)
+	s.em.emit(g.rowPtrAddr(v), trace.Load, 8, 3)
+	d := s.dist[v]
+	span := hi - lo
+	if span > 12 {
+		span = 12
+	}
+	for k := 0; k < span; k++ {
+		e := lo + k
+		s.em.emit(g.adjAddr(e), trace.Load, 4, 2)
+		t := int(g.adj[e])
+		s.em.emit(g.valueAAddr(t), trace.Load, 8, 3) // dist[t] check (scattered)
+		if s.dist[t] < 0 {
+			s.dist[t] = d + 1
+			s.em.emit(g.valueAAddr(t), trace.Store, 8, 2) // dist[t] update
+			s.frontier = append(s.frontier, int32(t))
+		}
+	}
+}
+
+// Compile-time interface checks.
+var (
+	_ trace.Generator = (*RandomWalk)(nil)
+	_ trace.Generator = (*PageRank)(nil)
+	_ trace.Generator = (*SSSP)(nil)
+)

@@ -1,0 +1,248 @@
+package algo
+
+import (
+	"testing"
+
+	"itsim/internal/trace"
+)
+
+func testGraph() *Graph { return Generate(4096, 8, 42) }
+
+func TestGenerateGraph(t *testing.T) {
+	g := testGraph()
+	if g.N != 4096 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.Edges() < g.N || g.Edges() > 16*g.N {
+		t.Fatalf("edge count %d implausible for avgDeg 8", g.Edges())
+	}
+	if g.FootprintBytes() == 0 || g.FootprintBytes()%4096 != 0 {
+		t.Fatalf("footprint %d not page-aligned", g.FootprintBytes())
+	}
+	// CSR invariants: rowPtr non-decreasing, targets in range, no self loop.
+	for v := 0; v < g.N; v++ {
+		lo, hi := g.neighbors(v)
+		if hi < lo {
+			t.Fatalf("rowPtr decreasing at %d", v)
+		}
+		for e := lo; e < hi; e++ {
+			tgt := int(g.adj[e])
+			if tgt < 0 || tgt >= g.N {
+				t.Fatalf("edge %d target %d out of range", e, tgt)
+			}
+			if tgt == v {
+				t.Fatalf("self loop at vertex %d", v)
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(1024, 4, 7)
+	b := Generate(1024, 4, 7)
+	if a.Edges() != b.Edges() {
+		t.Fatal("edge counts differ for same seed")
+	}
+	for i := range a.adj {
+		if a.adj[i] != b.adj[i] {
+			t.Fatalf("adjacency differs at %d", i)
+		}
+	}
+	c := Generate(1024, 4, 8)
+	if c.Edges() == a.Edges() {
+		// Degrees are random; identical counts would be suspicious but
+		// possible — require at least some adjacency difference.
+		same := true
+		for i := range a.adj {
+			if i >= len(c.adj) || a.adj[i] != c.adj[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical graphs")
+		}
+	}
+}
+
+func TestGenerateTinyGraphPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("1-vertex graph accepted")
+		}
+	}()
+	Generate(1, 4, 1)
+}
+
+func TestScaleFreeSkew(t *testing.T) {
+	g := testGraph()
+	indeg := make([]int, g.N)
+	for _, t := range g.adj {
+		indeg[t]++
+	}
+	max, sum := 0, 0
+	for _, d := range indeg {
+		sum += d
+		if d > max {
+			max = d
+		}
+	}
+	avg := float64(sum) / float64(g.N)
+	if float64(max) < 10*avg {
+		t.Fatalf("max in-degree %d not hub-like vs avg %.1f", max, avg)
+	}
+}
+
+func generators(g *Graph) []trace.Generator {
+	return []trace.Generator{
+		NewRandomWalk(g, 4, 20000, 1),
+		NewPageRank(g, 20000, 2),
+		NewSSSP(g, 20000, 3),
+	}
+}
+
+func TestGeneratorContracts(t *testing.T) {
+	g := testGraph()
+	for _, gen := range generators(g) {
+		n := 0
+		var r trace.Record
+		lo, hi := Base, Base+g.FootprintBytes()
+		for gen.Next(&r) {
+			n++
+			if r.Addr < lo || r.Addr >= hi {
+				t.Fatalf("%s: address %#x outside heap [%#x,%#x)", gen.Name(), r.Addr, lo, hi)
+			}
+			if r.Size == 0 {
+				t.Fatalf("%s: zero-size access", gen.Name())
+			}
+		}
+		if n != gen.Len() {
+			t.Fatalf("%s: produced %d records, Len=%d", gen.Name(), n, gen.Len())
+		}
+		// Reset reproduces the stream.
+		gen.Reset()
+		var first trace.Record
+		gen.Next(&first)
+		gen.Reset()
+		var again trace.Record
+		gen.Next(&again)
+		if first != again {
+			t.Fatalf("%s: Reset did not reproduce", gen.Name())
+		}
+	}
+}
+
+func TestLocalityClasses(t *testing.T) {
+	// Page rank (streaming CSR) must show markedly more same-page locality
+	// than random walk (pointer chasing).
+	g := Generate(16384, 8, 11)
+	locality := func(gen trace.Generator) float64 {
+		var r trace.Record
+		var recent [8]uint64
+		same, n := 0, 0
+		for gen.Next(&r) && n < 20000 {
+			page := r.Addr >> 12
+			for _, p := range recent {
+				if p == page {
+					same++
+					break
+				}
+			}
+			copy(recent[:], recent[1:])
+			recent[len(recent)-1] = page
+			n++
+		}
+		return float64(same) / float64(n)
+	}
+	pr := locality(NewPageRank(g, 20000, 5))
+	rw := locality(NewRandomWalk(g, 4, 20000, 5))
+	if pr <= rw {
+		t.Fatalf("pagerank locality %.2f not above randomwalk %.2f", pr, rw)
+	}
+}
+
+func TestSSSPCoversGraph(t *testing.T) {
+	// The BFS must reach a substantial share of vertices (the graph is
+	// near-connected thanks to hubs): distance stores must target many
+	// distinct vertices.
+	g := Generate(2048, 8, 13)
+	s := NewSSSP(g, 60000, 17)
+	seen := map[uint64]struct{}{}
+	var r trace.Record
+	for s.Next(&r) {
+		if r.Kind == trace.Store {
+			seen[r.Addr] = struct{}{}
+		}
+	}
+	if len(seen) < g.N/4 {
+		t.Fatalf("SSSP stored to only %d distinct addresses (N=%d)", len(seen), g.N)
+	}
+}
+
+func TestWritesTraceFormatRoundTrip(t *testing.T) {
+	// Algorithmic traces must survive the ITRC round trip like any other.
+	g := Generate(512, 4, 19)
+	gen := NewRandomWalk(g, 2, 5000, 23)
+	orig := trace.Records(gen)
+	sg := trace.NewSliceGenerator(gen.Name(), orig)
+	st := trace.Analyze(sg)
+	if st.Records != 5000 {
+		t.Fatalf("records = %d", st.Records)
+	}
+}
+
+func TestCommDetectContracts(t *testing.T) {
+	g := testGraph()
+	c := NewCommDetect(g, 20000, 7)
+	n := 0
+	var r trace.Record
+	lo, hi := Base, Base+g.FootprintBytes()
+	stores := 0
+	for c.Next(&r) {
+		n++
+		if r.Addr < lo || r.Addr >= hi {
+			t.Fatalf("address %#x outside heap", r.Addr)
+		}
+		if r.Kind == trace.Store {
+			stores++
+		}
+	}
+	if n != 20000 {
+		t.Fatalf("produced %d records", n)
+	}
+	if stores == 0 {
+		t.Fatal("label propagation never updated a label")
+	}
+	// Reset reproduces.
+	c.Reset()
+	var first trace.Record
+	c.Next(&first)
+	c.Reset()
+	var again trace.Record
+	c.Next(&again)
+	if first != again {
+		t.Fatal("Reset did not reproduce")
+	}
+}
+
+func TestCommDetectConverges(t *testing.T) {
+	// Labels must coalesce: after enough sweeps the number of store
+	// (label-change) records per sweep declines.
+	g := Generate(1024, 8, 3)
+	c := NewCommDetect(g, 200000, 9)
+	var r trace.Record
+	storesEarly, storesLate, n := 0, 0, 0
+	for c.Next(&r) {
+		if r.Kind == trace.Store {
+			if n < 50000 {
+				storesEarly++
+			} else if n >= 150000 {
+				storesLate++
+			}
+		}
+		n++
+	}
+	if storesLate >= storesEarly {
+		t.Fatalf("label propagation not converging: early=%d late=%d", storesEarly, storesLate)
+	}
+}

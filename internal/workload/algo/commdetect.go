@@ -1,0 +1,98 @@
+package algo
+
+import "itsim/internal/trace"
+
+// CommDetect runs synchronous label propagation over the graph — the
+// community-detection kernel GraphChi ships and the paper uses as its sixth
+// general-purpose workload. Each sweep streams the CSR arrays vertex by
+// vertex (sequential), reads the neighbours' labels (scattered), and writes
+// the vertex's new label: more streaming than page rank (it also re-reads
+// the vertex's own label block) and far more than random walk.
+type CommDetect struct {
+	g       *Graph
+	records int
+	seed    uint64
+
+	em      emitter
+	labels  []int32
+	v       int
+	emitted int
+}
+
+// NewCommDetect builds a label-propagation tracer producing exactly records
+// accesses.
+func NewCommDetect(g *Graph, records int, seed uint64) *CommDetect {
+	c := &CommDetect{g: g, records: records, seed: seed}
+	c.Reset()
+	return c
+}
+
+// Name implements trace.Generator.
+func (c *CommDetect) Name() string { return "algo_commdetect" }
+
+// Len implements trace.Generator.
+func (c *CommDetect) Len() int { return c.records }
+
+// FootprintBytes implements trace.Generator.
+func (c *CommDetect) FootprintBytes() uint64 { return c.g.FootprintBytes() }
+
+// Reset implements trace.Generator.
+func (c *CommDetect) Reset() {
+	c.em.reset(c.seed)
+	if c.labels == nil {
+		c.labels = make([]int32, c.g.N)
+	}
+	for i := range c.labels {
+		c.labels[i] = int32(i) // every vertex starts in its own community
+	}
+	c.v = 0
+	c.emitted = 0
+}
+
+// Next implements trace.Generator.
+func (c *CommDetect) Next(rec *trace.Record) bool {
+	if c.emitted >= c.records {
+		return false
+	}
+	for !c.em.pending() {
+		c.step()
+	}
+	c.em.pop(rec)
+	c.emitted++
+	return true
+}
+
+// step propagates the most frequent neighbour label into vertex v (ties:
+// smallest label — deterministic).
+func (c *CommDetect) step() {
+	g := c.g
+	v := c.v
+	c.v = (c.v + 1) % g.N
+	lo, hi := g.neighbors(v)
+	c.em.emit(g.rowPtrAddr(v), trace.Load, 8, 3)
+	c.em.emit(g.valueAAddr(v), trace.Load, 8, 2) // own label
+	span := hi - lo
+	if span > 10 {
+		span = 10
+	}
+	best := c.labels[v]
+	counts := map[int32]int{}
+	bestCount := 0
+	for k := 0; k < span; k++ {
+		e := lo + k
+		c.em.emit(g.adjAddr(e), trace.Load, 4, 2) // sequential edge scan
+		t := int(g.adj[e])
+		c.em.emit(g.valueAAddr(t), trace.Load, 8, 4) // neighbour label (scattered)
+		l := c.labels[t]
+		counts[l]++
+		if counts[l] > bestCount || (counts[l] == bestCount && l < best) {
+			best, bestCount = l, counts[l]
+		}
+	}
+	if best != c.labels[v] {
+		c.labels[v] = best
+		c.em.emit(g.valueAAddr(v), trace.Store, 8, 3) // label update
+	}
+}
+
+var _ trace.Generator = (*CommDetect)(nil)

@@ -1,0 +1,30 @@
+package workload
+
+import (
+	"testing"
+
+	"itsim/internal/trace"
+)
+
+func BenchmarkSyntheticNext(b *testing.B) {
+	for _, name := range []string{Wrf, RandomWalk} {
+		b.Run(name, func(b *testing.B) {
+			g := MustGenerator(name, 1.0)
+			var r trace.Record
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !g.Next(&r) {
+					g.Reset()
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkWarmPages(b *testing.B) {
+	g := MustGenerator(CommDetect, 1.0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.WarmPages(1024)
+	}
+}

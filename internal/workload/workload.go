@@ -1,0 +1,377 @@
+// Package workload provides deterministic synthetic trace generators that
+// stand in for the paper's nine Valgrind-captured benchmarks (§4.1):
+//
+//	general-purpose: Caffe (CaffeNet inference), Wrf (SPEC CPU 2006),
+//	                 Blender, Xz, DeepSjeng (SPEC CPU 2017), and GraphChi
+//	                 community detection;
+//	data-intensive:  GraphChi random walk, Graph500 single-source shortest
+//	                 path, and GraphChi page rank.
+//
+// Real traces are proprietary to the authors' capture setup, so each
+// generator models the published access-pattern class of its benchmark —
+// streaming weights, stencil sweeps, tile rendering, sliding-window
+// compression, transposition-table chasing, shard scans, and graph-random
+// traversals — with footprints and locality chosen to preserve the paper's
+// split: general-purpose processes are prefetch-friendly (high sequentiality,
+// modest footprint), data-intensive ones are cache- and memory-hostile
+// (large footprint, dominant random access). See DESIGN.md §2 for the
+// substitution rationale.
+//
+// Every generator is reproducible: Reset rewinds to an identical stream.
+package workload
+
+import (
+	"fmt"
+
+	"itsim/internal/prng"
+	"itsim/internal/trace"
+)
+
+// Class tags a workload as general-purpose or data-intensive.
+type Class uint8
+
+// Workload classes.
+const (
+	// GeneralPurpose workloads have predictable locality.
+	GeneralPurpose Class = iota
+	// DataIntensive workloads stress memory with random access.
+	DataIntensive
+)
+
+// String names the class.
+func (c Class) String() string {
+	if c == DataIntensive {
+		return "data-intensive"
+	}
+	return "general-purpose"
+}
+
+// Profile parameterizes a synthetic generator. Probabilities PSeq, PHot and
+// PRandom are normalized; the remainder after PSeq+PHot goes to PRandom.
+type Profile struct {
+	// Name of the benchmark this profile models.
+	Name string
+	// Class is general-purpose or data-intensive.
+	Class Class
+	// FootprintBytes is the size of the virtual region the trace touches.
+	FootprintBytes uint64
+	// Records is the number of memory accesses to generate.
+	Records int
+	// Streams is the number of concurrent sequential streams (a stencil
+	// sweep reads several arrays in lockstep).
+	Streams int
+	// StrideBytes is the sequential advance per stream access.
+	StrideBytes uint64
+	// PSeq is the probability an access advances a sequential stream.
+	PSeq float64
+	// PHot is the probability an access lands in the hot region.
+	PHot float64
+	// HotBytes is the hot-region size (reused data: activations,
+	// dictionaries, stacks).
+	HotBytes uint64
+	// WindowBytes, when non-zero, confines random accesses to a sliding
+	// window trailing the first stream head (xz-style matching).
+	WindowBytes uint64
+	// TileBytes, when non-zero, makes stream heads jump to a random
+	// tile-aligned position after advancing a tile (blender-style).
+	TileBytes uint64
+	// ZipfTheta, when > 0, skews random accesses toward low addresses
+	// (graph degree skew); 0 selects uniform random.
+	ZipfTheta float64
+	// StoreFrac is the fraction of accesses that are stores.
+	StoreFrac float64
+	// GapMean is the mean number of compute instructions between
+	// accesses (geometric distribution).
+	GapMean int
+	// DepChain is the probability a record's source register is the
+	// previous record's destination (dependency chains drive INV
+	// propagation during pre-execution).
+	DepChain float64
+	// Phases, when > 1, splits the trace into program phases: at each
+	// phase boundary the hot region relocates and the stream heads
+	// re-seat at new positions, modelling the phase behaviour of real
+	// programs (optional — the calibrated paper profiles run single-
+	// phase).
+	Phases int
+	// Seed makes the stream unique and reproducible.
+	Seed uint64
+}
+
+// Validate sanity-checks the profile.
+func (p Profile) Validate() error {
+	if p.Name == "" {
+		return fmt.Errorf("workload: empty name")
+	}
+	if p.FootprintBytes < trace.PageSize {
+		return fmt.Errorf("workload %s: footprint %d below one page", p.Name, p.FootprintBytes)
+	}
+	if p.Records <= 0 {
+		return fmt.Errorf("workload %s: non-positive record count", p.Name)
+	}
+	if p.PSeq < 0 || p.PHot < 0 || p.PSeq+p.PHot > 1 {
+		return fmt.Errorf("workload %s: bad probabilities seq=%v hot=%v", p.Name, p.PSeq, p.PHot)
+	}
+	if p.StoreFrac < 0 || p.StoreFrac > 1 {
+		return fmt.Errorf("workload %s: bad store fraction %v", p.Name, p.StoreFrac)
+	}
+	return nil
+}
+
+// Synthetic is the generator driven by a Profile.
+type Synthetic struct {
+	prof Profile
+	rng  *prng.Source
+
+	emitted   int
+	heads     []uint64 // per-stream next offsets within the footprint
+	lastDst   uint8
+	baseVA    uint64
+	hotBase   uint64
+	tileLeft  uint64
+	nextPhase int // emitted-count at which the next phase shift happens
+}
+
+// BaseVA is where each synthetic trace's region begins. Real heaps don't
+// start at zero; a non-trivial base exercises the multi-level page-table
+// indexing.
+const BaseVA = 0x0000_1000_0000
+
+// New constructs a generator from prof, panicking on invalid profiles
+// (profiles are compiled-in experiment configs, so invalid means a bug).
+func New(prof Profile) *Synthetic {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	if prof.Streams <= 0 {
+		prof.Streams = 1
+	}
+	if prof.StrideBytes == 0 {
+		prof.StrideBytes = 64
+	}
+	if prof.GapMean <= 0 {
+		prof.GapMean = 10
+	}
+	if prof.HotBytes == 0 {
+		prof.HotBytes = prof.FootprintBytes / 32
+	}
+	g := &Synthetic{prof: prof}
+	g.Reset()
+	return g
+}
+
+// Profile returns the generator's parameters.
+func (g *Synthetic) Profile() Profile { return g.prof }
+
+// Name implements trace.Generator.
+func (g *Synthetic) Name() string { return g.prof.Name }
+
+// Len implements trace.Generator.
+func (g *Synthetic) Len() int { return g.prof.Records }
+
+// FootprintBytes implements trace.Generator.
+func (g *Synthetic) FootprintBytes() uint64 { return g.prof.FootprintBytes }
+
+// Class returns the workload class.
+func (g *Synthetic) Class() Class { return g.prof.Class }
+
+// Reset implements trace.Generator.
+func (g *Synthetic) Reset() {
+	p := g.prof
+	g.rng = prng.New(p.Seed)
+	g.emitted = 0
+	g.baseVA = BaseVA
+	g.hotBase = 0 // hot region sits at the start of the footprint
+	g.heads = g.heads[:0]
+	span := p.FootprintBytes / uint64(p.Streams)
+	for i := 0; i < p.Streams; i++ {
+		g.heads = append(g.heads, uint64(i)*span)
+	}
+	g.tileLeft = p.TileBytes
+	g.lastDst = 0
+	g.nextPhase = 0
+	if p.Phases > 1 {
+		g.nextPhase = p.Records / p.Phases
+	}
+}
+
+// Next implements trace.Generator.
+func (g *Synthetic) Next(rec *trace.Record) bool {
+	p := &g.prof
+	if g.emitted >= p.Records {
+		return false
+	}
+	g.emitted++
+	if g.nextPhase > 0 && g.emitted >= g.nextPhase {
+		g.shiftPhase()
+	}
+
+	var off uint64
+	r := g.rng.Float64()
+	switch {
+	case r < p.PSeq:
+		off = g.nextSeq()
+	case r < p.PSeq+p.PHot:
+		off = g.hotBase + g.rng.Uint64n(p.HotBytes)
+	default:
+		off = g.nextRandom()
+	}
+	if off >= p.FootprintBytes {
+		off %= p.FootprintBytes
+	}
+
+	rec.Addr = g.baseVA + off
+	rec.Size = 8
+	if g.rng.Bool(p.StoreFrac) {
+		rec.Kind = trace.Store
+	} else {
+		rec.Kind = trace.Load
+	}
+	rec.Gap = g.geomGap()
+	// Register assignment: loads define a destination; dependency chains
+	// make the next record's source the previous destination.
+	dst := uint8(g.rng.Intn(trace.NumRegs))
+	src := uint8(g.rng.Intn(trace.NumRegs))
+	if g.rng.Bool(p.DepChain) {
+		src = g.lastDst
+	}
+	rec.Dst = dst
+	rec.Src = src
+	if rec.Kind == trace.Load {
+		g.lastDst = dst
+	}
+	return true
+}
+
+// shiftPhase relocates the hot region and re-seats every stream head —
+// the program entered a new phase with a different working set.
+func (g *Synthetic) shiftPhase() {
+	p := &g.prof
+	g.nextPhase += p.Records / p.Phases
+	if p.FootprintBytes > p.HotBytes {
+		g.hotBase = g.rng.Uint64n(p.FootprintBytes - p.HotBytes)
+	}
+	for i := range g.heads {
+		g.heads[i] = g.rng.Uint64n(p.FootprintBytes)
+	}
+}
+
+// nextSeq advances a randomly chosen stream head by the stride, wrapping at
+// the footprint and honouring tile jumps.
+func (g *Synthetic) nextSeq() uint64 {
+	p := &g.prof
+	s := g.rng.Intn(len(g.heads))
+	off := g.heads[s]
+	g.heads[s] += p.StrideBytes
+	if g.heads[s] >= p.FootprintBytes {
+		g.heads[s] = 0
+	}
+	if p.TileBytes > 0 {
+		if g.tileLeft <= p.StrideBytes {
+			// Jump to a random tile start.
+			tiles := p.FootprintBytes / p.TileBytes
+			if tiles > 0 {
+				g.heads[s] = g.rng.Uint64n(tiles) * p.TileBytes
+			}
+			g.tileLeft = p.TileBytes
+		} else {
+			g.tileLeft -= p.StrideBytes
+		}
+	}
+	return off
+}
+
+// nextRandom draws a random offset: windowed behind stream 0 (xz), Zipf
+// (graphs) or uniform.
+func (g *Synthetic) nextRandom() uint64 {
+	p := &g.prof
+	if p.WindowBytes > 0 {
+		head := g.heads[0]
+		w := p.WindowBytes
+		if head < w {
+			w = head + trace.PageSize
+		}
+		back := g.rng.Uint64n(w)
+		if back > head {
+			return 0
+		}
+		return head - back
+	}
+	if p.ZipfTheta > 0 {
+		pages := int(p.FootprintBytes / trace.PageSize)
+		pg := g.rng.Zipf(pages, p.ZipfTheta)
+		// Scatter the popularity ranks across the footprint with a
+		// bijective multiplicative permutation: graph "hot vertices"
+		// are not laid out contiguously in a real heap, so a victim
+		// page's virtual-address neighbours must not be its
+		// popularity neighbours (otherwise every prefetcher looks
+		// artificially clairvoyant on random workloads).
+		pg = int((uint64(pg) * 2654435761) % uint64(pages))
+		return uint64(pg)*trace.PageSize + g.rng.Uint64n(trace.PageSize)
+	}
+	return g.rng.Uint64n(p.FootprintBytes)
+}
+
+// geomGap samples a geometric-ish gap with the configured mean.
+func (g *Synthetic) geomGap() uint32 {
+	m := g.prof.GapMean
+	// Sum of two uniforms approximates the mean with bounded variance and
+	// avoids pathological zero-runs.
+	gap := g.rng.Intn(m+1) + g.rng.Intn(m+1)
+	return uint32(gap)
+}
+
+// WarmPages returns up to maxPages page-aligned virtual addresses of the
+// workload's working set, hottest first: the hot region, then pages fanning
+// out from each stream's starting position. The machine model uses this to
+// warm-start DRAM — the paper evaluates steady-state multiprogramming
+// ("DRAM size is tailored to match the working set"), not cold-start
+// page-in of every image.
+func (g *Synthetic) WarmPages(maxPages int) []uint64 {
+	if maxPages <= 0 {
+		return nil
+	}
+	p := &g.prof
+	seen := make(map[uint64]struct{}, maxPages)
+	out := make([]uint64, 0, maxPages)
+	add := func(off uint64) bool {
+		if off >= p.FootprintBytes {
+			return len(out) < maxPages
+		}
+		va := (BaseVA + off) &^ uint64(trace.PageSize-1)
+		if _, dup := seen[va]; !dup {
+			seen[va] = struct{}{}
+			out = append(out, va)
+		}
+		return len(out) < maxPages
+	}
+	// Hot region first.
+	for off := g.hotBase; off < g.hotBase+p.HotBytes; off += trace.PageSize {
+		if !add(off) {
+			return out
+		}
+	}
+	// Then pages fanning out from each stream start, interleaved.
+	streams := p.Streams
+	if streams <= 0 {
+		streams = 1
+	}
+	span := p.FootprintBytes / uint64(streams)
+	for k := uint64(0); ; k++ {
+		progressed := false
+		for s := 0; s < streams; s++ {
+			off := uint64(s)*span + k*trace.PageSize
+			if off >= p.FootprintBytes || (s+1 < streams && off >= uint64(s+1)*span) {
+				continue
+			}
+			progressed = true
+			if !add(off) {
+				return out
+			}
+		}
+		if !progressed {
+			return out
+		}
+	}
+}
+
+var _ trace.Generator = (*Synthetic)(nil)
