@@ -1,5 +1,5 @@
 // Command itsbench regenerates every table and figure of the paper's
-// evaluation as text tables, CSV, or ASCII bar charts:
+// evaluation as text tables, CSV, ASCII bar charts, or one JSON document:
 //
 //	obs    — §2.2 observation: CPU idle time vs process count (Sync mode)
 //	fig4a  — normalized total CPU idle time, 4 batches × 5 policies
@@ -7,7 +7,7 @@
 //	fig4c  — CPU cache-miss counts (unit: 1 M)
 //	fig5a  — normalized avg finish time, top-50 % priority processes
 //	fig5b  — normalized avg finish time, bottom-50 % priority processes
-//	setup  — §4.1 configuration constants
+//	setup  — §4.1 configuration constants + measured sync-wait distribution
 //	xover  — huge-I/O sync-vs-async crossover sweep (§1 motivation)
 //	spin   — ITS vs kernel-style hybrid polling (spin-then-block)
 //	sens   — Figure 4a robustness across random priority draws
@@ -18,30 +18,44 @@
 //	itsbench -exp all -scale 0.25
 //	itsbench -exp fig4a -format csv
 //	itsbench -exp fig4a -format chart
+//	itsbench -exp all -format json
+//	itsbench -exp fig4a -trace-out trace.json -trace-format chrome
+//
+// With -trace-out every simulated run streams its event trace into one file
+// (runs become separate trace processes); see docs/OBSERVABILITY.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"itsim/internal/core"
 	"itsim/internal/kernel"
 	"itsim/internal/metrics"
+	"itsim/internal/obs"
 	"itsim/internal/policy"
 	"itsim/internal/report"
 	"itsim/internal/sched"
+	"itsim/internal/sim"
 	"itsim/internal/storage"
+	"itsim/internal/workload"
 )
 
 func main() {
 	var (
-		exp    = flag.String("exp", "all", "experiment: obs|fig4a|fig4b|fig4c|fig5a|fig5b|setup|xover|all")
-		scale  = flag.Float64("scale", 0.25, "workload scale factor")
-		format = flag.String("format", "text", "output format: text|csv|chart")
+		exp         = flag.String("exp", "all", "experiment: obs|fig4a|fig4b|fig4c|fig5a|fig5b|setup|xover|spin|sens|all")
+		scale       = flag.Float64("scale", 0.25, "workload scale factor")
+		format      = flag.String("format", "text", "output format: text|csv|chart|json")
+		traceOut    = flag.String("trace-out", "", "write the simulation event trace of every run to this file (empty = off)")
+		traceFormat = flag.String("trace-format", "chrome", "trace format: chrome|jsonl")
+		traceFilter = flag.String("trace-filter", "", "comma-separated event types and pid=N entries (empty = all)")
+		gaugeEvery  = flag.Duration("gauge-interval", 0, "virtual-time gauge sampling interval, e.g. 100us (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*exp, *scale, *format); err != nil {
+	if err := run(*exp, *scale, *format, *traceOut, *traceFormat, *traceFilter, *gaugeEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "itsbench:", err)
 		os.Exit(1)
 	}
@@ -57,11 +71,40 @@ func emit(t *report.Table, format string) error {
 	}
 }
 
-func run(exp string, scale float64, format string) error {
-	if format != "text" && format != "csv" && format != "chart" {
-		return fmt.Errorf("unknown format %q", format)
+// jsonDoc is the -format json output: one document holding every selected
+// experiment's data, with durations in virtual nanoseconds.
+type jsonDoc struct {
+	Scale       float64                 `json:"scale"`
+	Setup       map[string]string       `json:"setup,omitempty"`
+	Observation []core.ObservationPoint `json:"observation,omitempty"`
+	// Figures maps figure name → batch → policy → value (normalized for
+	// fig4a/fig5a/fig5b, raw unit counts for fig4b/fig4c).
+	Figures map[string]map[string]map[string]float64 `json:"figures,omitempty"`
+	// Runs holds the full per-run summaries behind the figures, including
+	// histogram buckets.
+	Runs        []metrics.Summary        `json:"runs,omitempty"`
+	Crossover   []core.CrossoverPoint    `json:"crossover,omitempty"`
+	Spin        []core.SpinPoint         `json:"spin,omitempty"`
+	Sensitivity []core.SensitivityResult `json:"sensitivity,omitempty"`
+}
+
+func run(exp string, scale float64, format, traceOut, traceFormat, traceFilter string, gaugeEvery time.Duration) error {
+	// Validate the output format and trace flags before any experiment
+	// runs — a grid at full scale is minutes of work to waste on a typo.
+	switch format {
+	case "text", "csv", "chart", "json":
+	default:
+		return fmt.Errorf("unknown format %q (want text, csv, chart or json)", format)
 	}
-	opts := core.Options{Scale: scale}
+	trc, err := obs.TracerFromFlags(traceOut, traceFormat, traceFilter)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Scale:         scale,
+		Tracer:        trc,
+		GaugeInterval: sim.Time(gaugeEvery.Nanoseconds()),
+	}
 	needGrid := false
 	switch exp {
 	case "obs", "setup", "xover", "spin", "sens":
@@ -71,6 +114,27 @@ func run(exp string, scale float64, format string) error {
 		return fmt.Errorf("unknown experiment %q", exp)
 	}
 
+	var doc *jsonDoc
+	if format == "json" {
+		doc = &jsonDoc{Scale: scale}
+	}
+
+	err = runExperiments(exp, needGrid, opts, format, doc)
+	if cerr := trc.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("finalizing trace: %w", cerr)
+	}
+	if err != nil {
+		return err
+	}
+	if doc != nil {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
+	}
+	return nil
+}
+
+func runExperiments(exp string, needGrid bool, opts core.Options, format string, doc *jsonDoc) error {
 	var grid []core.GridResult
 	if needGrid {
 		var err error
@@ -78,17 +142,24 @@ func run(exp string, scale float64, format string) error {
 		if err != nil {
 			return err
 		}
+		if doc != nil {
+			for _, gr := range grid {
+				for _, k := range policy.Kinds() {
+					doc.Runs = append(doc.Runs, gr.Runs[k].Summary())
+				}
+			}
+		}
 	}
 
 	show := func(name string) bool { return exp == "all" || exp == name }
 
 	if show("setup") {
-		if err := printSetup(format); err != nil {
+		if err := printSetup(opts, format, doc); err != nil {
 			return err
 		}
 	}
 	if show("obs") {
-		if err := printObservation(opts, format); err != nil {
+		if err := printObservation(opts, format, doc); err != nil {
 			return err
 		}
 	}
@@ -110,32 +181,36 @@ func run(exp string, scale float64, format string) error {
 		if !show(fig.name) {
 			continue
 		}
-		if err := printFigure(grid, fig.title, fig.metric, fig.norm, format); err != nil {
+		if err := printFigure(grid, fig.name, fig.title, fig.metric, fig.norm, format, doc); err != nil {
 			return err
 		}
 	}
 	if show("xover") {
-		if err := printCrossover(opts, format); err != nil {
+		if err := printCrossover(opts, format, doc); err != nil {
 			return err
 		}
 	}
 	if show("spin") {
-		if err := printSpin(opts, format); err != nil {
+		if err := printSpin(opts, format, doc); err != nil {
 			return err
 		}
 	}
 	if show("sens") {
-		if err := printSensitivity(opts, format); err != nil {
+		if err := printSensitivity(opts, format, doc); err != nil {
 			return err
 		}
 	}
 	return nil
 }
 
-func printSensitivity(opts core.Options, format string) error {
+func printSensitivity(opts core.Options, format string, doc *jsonDoc) error {
 	res, err := core.RunSensitivity("1_Data_Intensive", 5, opts)
 	if err != nil {
 		return err
+	}
+	if doc != nil {
+		doc.Sensitivity = res
+		return nil
 	}
 	t := report.NewTable("Priority-draw sensitivity — normalized idle over 5 random draws (1_Data_Intensive)",
 		"policy", "min", "mean", "max")
@@ -145,10 +220,14 @@ func printSensitivity(opts core.Options, format string) error {
 	return emit(t, format)
 }
 
-func printSpin(opts core.Options, format string) error {
+func printSpin(opts core.Options, format string, doc *jsonDoc) error {
 	pts, err := core.RunSpinSweep(opts, nil)
 	if err != nil {
 		return err
+	}
+	if doc != nil {
+		doc.Spin = pts
+		return nil
 	}
 	if format == "chart" {
 		var bars []report.Bar
@@ -166,12 +245,27 @@ func printSpin(opts core.Options, format string) error {
 	return emit(t, format)
 }
 
-func printFigure(grid []core.GridResult, title string, metric core.Metric, normalized bool, format string) error {
+func printFigure(grid []core.GridResult, name, title string, metric core.Metric, normalized bool, format string, doc *jsonDoc) error {
 	value := func(gr core.GridResult, k policy.Kind) float64 {
 		if normalized {
 			return gr.Normalized(metric, policy.ITS)[k]
 		}
 		return metric(gr.Runs[k])
+	}
+	if doc != nil {
+		if doc.Figures == nil {
+			doc.Figures = make(map[string]map[string]map[string]float64)
+		}
+		fig := make(map[string]map[string]float64, len(grid))
+		for _, gr := range grid {
+			row := make(map[string]float64, len(policy.Kinds()))
+			for _, k := range policy.Kinds() {
+				row[k.String()] = value(gr, k)
+			}
+			fig[gr.Batch.Name] = row
+		}
+		doc.Figures[name] = fig
+		return nil
 	}
 	if format == "chart" {
 		groups := make([]string, 0, len(grid))
@@ -201,23 +295,64 @@ func printFigure(grid []core.GridResult, title string, metric core.Metric, norma
 	return emit(t, format)
 }
 
-func printSetup(format string) error {
+// measuredSyncWait runs the 2_Data_Intensive batch under plain Sync and
+// returns its per-fault busy-wait distribution — the measured counterpart of
+// the §4.1 constants, with the tail (p99) reported alongside the mean
+// because queueing behind prefetches and channel contention make the tail,
+// not the mean, the number that decides whether busy-waiting stays cheaper
+// than the 7 µs switch.
+func measuredSyncWait(opts core.Options) (*metrics.Histogram, error) {
+	b, err := workload.BatchByName("2_Data_Intensive")
+	if err != nil {
+		return nil, err
+	}
+	run, err := core.RunBatch(b, policy.Sync, opts)
+	if err != nil {
+		return nil, err
+	}
+	return run.SyncWaitHist, nil
+}
+
+func printSetup(opts core.Options, format string, doc *jsonDoc) error {
 	dev := storage.DefaultConfig()
+	sw, err := measuredSyncWait(opts)
+	if err != nil {
+		return err
+	}
+	syncWait := fmt.Sprintf("mean %v, p50 ≤ %v, p99 ≤ %v, max %v (n=%d, Sync on 2_Data_Intensive)",
+		sw.Mean(), sw.Quantile(0.5), sw.Quantile(0.99), sw.Max(), sw.Count())
+	rows := [][2]string{
+		{"LLC", "8 MB, 16-way, 64 B lines (half becomes pre-execute cache for Sync_Runahead/ITS)"},
+		{"Context switch", kernel.ContextSwitchCost.String()},
+		{"DRAM access", "50ns"},
+		{"ULL device read", fmt.Sprintf("%v (write %v, %d channels)", dev.ReadLatency, dev.WriteLatency, dev.Channels)},
+		{"PCIe", "4 lanes × 3.983 GB/s"},
+		{"Time slices", fmt.Sprintf("%v (highest prio) … %v (lowest), SCHED_RR", sched.MaxSlice, sched.MinSlice)},
+		{"Page size", "4 KiB, 4-level page table"},
+		{"Sync fault wait (measured)", syncWait},
+	}
+	if doc != nil {
+		doc.Setup = make(map[string]string, len(rows))
+		for _, r := range rows {
+			doc.Setup[r[0]] = r[1]
+		}
+		return nil
+	}
 	t := report.NewTable("Table — §4.1 evaluation setup (simulated platform constants)", "constant", "value")
-	t.AddRow("LLC", "8 MB, 16-way, 64 B lines (half becomes pre-execute cache for Sync_Runahead/ITS)")
-	t.AddRow("Context switch", kernel.ContextSwitchCost.String())
-	t.AddRow("DRAM access", "50ns")
-	t.AddRow("ULL device read", fmt.Sprintf("%v (write %v, %d channels)", dev.ReadLatency, dev.WriteLatency, dev.Channels))
-	t.AddRow("PCIe", "4 lanes × 3.983 GB/s")
-	t.AddRow("Time slices", fmt.Sprintf("%v (highest prio) … %v (lowest), SCHED_RR", sched.MaxSlice, sched.MinSlice))
-	t.AddRow("Page size", "4 KiB, 4-level page table")
+	for _, r := range rows {
+		t.AddRow(r[0], r[1])
+	}
 	return emit(t, format)
 }
 
-func printObservation(opts core.Options, format string) error {
+func printObservation(opts core.Options, format string, doc *jsonDoc) error {
 	pts, err := core.RunObservation(opts)
 	if err != nil {
 		return err
+	}
+	if doc != nil {
+		doc.Observation = pts
+		return nil
 	}
 	base := pts[0].IdleTime
 	if format == "chart" {
@@ -244,10 +379,14 @@ func printObservation(opts core.Options, format string) error {
 	return emit(t, format)
 }
 
-func printCrossover(opts core.Options, format string) error {
+func printCrossover(opts core.Options, format string, doc *jsonDoc) error {
 	pts, err := core.RunCrossover(opts, nil)
 	if err != nil {
 		return err
+	}
+	if doc != nil {
+		doc.Crossover = pts
+		return nil
 	}
 	if format == "chart" {
 		var bars []report.Bar

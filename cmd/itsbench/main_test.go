@@ -1,6 +1,12 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
 
 // The harness is exercised end-to-end at a tiny scale: every experiment and
 // format must render without error (outputs go to stdout; correctness of
@@ -10,7 +16,7 @@ func TestRunAllExperiments(t *testing.T) {
 		t.Skip("harness run in -short mode")
 	}
 	for _, exp := range []string{"setup", "obs", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "xover", "spin"} {
-		if err := run(exp, 0.01, "text"); err != nil {
+		if err := run(exp, 0.01, "text", "", "chrome", "", 0); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -20,18 +26,46 @@ func TestRunFormats(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness run in -short mode")
 	}
-	for _, format := range []string{"csv", "chart"} {
-		if err := run("fig4a", 0.01, format); err != nil {
+	for _, format := range []string{"csv", "chart", "json"} {
+		if err := run("fig4a", 0.01, format, "", "chrome", "", 0); err != nil {
 			t.Fatalf("%s: %v", format, err)
 		}
 	}
 }
 
 func TestRunRejectsUnknown(t *testing.T) {
-	if err := run("nope", 0.01, "text"); err == nil {
+	if err := run("nope", 0.01, "text", "", "chrome", "", 0); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run("fig4a", 0.01, "nope"); err == nil {
+	if err := run("fig4a", 0.01, "nope", "", "chrome", "", 0); err == nil {
 		t.Fatal("unknown format accepted")
+	}
+	if err := run("fig4a", 0.01, "text", "x.json", "nope", "", 0); err == nil {
+		t.Fatal("unknown trace format accepted")
+	}
+}
+
+// A traced multi-run experiment must produce a single well-formed Chrome
+// trace file covering every run.
+func TestRunWithTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "trace.json")
+	if err := run("fig4a", 0.01, "text", path, "chrome", "", 50*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid Chrome JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
 	}
 }

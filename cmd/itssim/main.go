@@ -4,21 +4,32 @@
 // Usage:
 //
 //	itssim -batch 2_Data_Intensive -policy ITS -scale 0.25 [-v]
+//	itssim -policy ITS -format json
+//	itssim -policy ITS -trace-out trace.json -trace-format chrome
 //
 // Batches: No_Data_Intensive, 1_Data_Intensive, 2_Data_Intensive,
 // 3_Data_Intensive. Policies: Async, Sync, Sync_Runahead, Sync_Prefetch,
 // ITS.
+//
+// With -trace-out the full simulation event stream is written as a Chrome
+// trace (load in Perfetto / chrome://tracing) or JSONL; -trace-filter
+// restricts it to selected event types and pids, and -gauge-interval adds
+// periodic virtual-time gauge samples. See docs/OBSERVABILITY.md.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"text/tabwriter"
+	"time"
 
 	"itsim/internal/core"
 	"itsim/internal/machine"
+	"itsim/internal/obs"
 	"itsim/internal/policy"
+	"itsim/internal/sim"
 	"itsim/internal/workload"
 )
 
@@ -31,42 +42,79 @@ func coreMachineConfig(scale, dramRatio float64) machine.Config {
 	return cfg
 }
 
+// params carries the parsed command line.
+type params struct {
+	batch, policy string
+	scale         float64
+	dramRatio     float64
+	verbose       bool
+	format        string
+	traceOut      string
+	traceFormat   string
+	traceFilter   string
+	gaugeEvery    time.Duration
+}
+
 func main() {
-	var (
-		batchName  = flag.String("batch", "2_Data_Intensive", "process batch name")
-		policyName = flag.String("policy", "ITS", "I/O-mode policy")
-		scale      = flag.Float64("scale", 0.25, "workload scale factor (1.0 = full size)")
-		dramRatio  = flag.Float64("dram", 0, "override DRAM/footprint ratio (0 = default)")
-		verbose    = flag.Bool("v", false, "per-process detail")
-	)
+	var p params
+	flag.StringVar(&p.batch, "batch", "2_Data_Intensive", "process batch name")
+	flag.StringVar(&p.policy, "policy", "ITS", "I/O-mode policy")
+	flag.Float64Var(&p.scale, "scale", 0.25, "workload scale factor (1.0 = full size)")
+	flag.Float64Var(&p.dramRatio, "dram", 0, "override DRAM/footprint ratio (0 = default)")
+	flag.BoolVar(&p.verbose, "v", false, "per-process detail")
+	flag.StringVar(&p.format, "format", "text", "run summary format: text|json")
+	flag.StringVar(&p.traceOut, "trace-out", "", "write the simulation event trace to this file (empty = off)")
+	flag.StringVar(&p.traceFormat, "trace-format", "chrome", "trace format: chrome|jsonl")
+	flag.StringVar(&p.traceFilter, "trace-filter", "", "comma-separated event types and pid=N entries (empty = all)")
+	flag.DurationVar(&p.gaugeEvery, "gauge-interval", 0, "virtual-time gauge sampling interval, e.g. 100us (0 = off)")
 	flag.Parse()
 
-	if err := run(*batchName, *policyName, *scale, *dramRatio, *verbose); err != nil {
+	if err := run(p); err != nil {
 		fmt.Fprintln(os.Stderr, "itssim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(batchName, policyName string, scale, dramRatio float64, verbose bool) error {
-	b, err := workload.BatchByName(batchName)
+func run(p params) error {
+	if p.format != "text" && p.format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", p.format)
+	}
+	b, err := workload.BatchByName(p.batch)
 	if err != nil {
 		return err
 	}
-	kind, err := policy.KindByName(policyName)
+	kind, err := policy.KindByName(p.policy)
 	if err != nil {
 		return err
 	}
-	opts := core.Options{Scale: scale}
-	if dramRatio > 0 {
-		cfg := coreMachineConfig(scale, dramRatio)
+	trc, err := obs.TracerFromFlags(p.traceOut, p.traceFormat, p.traceFilter)
+	if err != nil {
+		return err
+	}
+	opts := core.Options{
+		Scale:         p.scale,
+		Tracer:        trc,
+		GaugeInterval: sim.Time(p.gaugeEvery.Nanoseconds()),
+	}
+	if p.dramRatio > 0 {
+		cfg := coreMachineConfig(p.scale, p.dramRatio)
 		opts.Machine = &cfg
 	}
 	run, err := core.RunBatch(b, kind, opts)
+	if cerr := trc.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("finalizing trace: %w", cerr)
+	}
 	if err != nil {
 		return err
 	}
 
-	fmt.Printf("batch=%s policy=%s scale=%g\n", b.Name, kind, scale)
+	if p.format == "json" {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(run.Summary())
+	}
+
+	fmt.Printf("batch=%s policy=%s scale=%g\n", b.Name, kind, p.scale)
 	fmt.Printf("  makespan          %v\n", run.Makespan)
 	fmt.Printf("  total CPU idle    %v (sched idle %v)\n", run.TotalIdle(), run.SchedulerIdle)
 	fmt.Printf("  major faults      %d (minor %d)\n", run.TotalMajorFaults(), run.TotalMinorFaults())
@@ -82,7 +130,7 @@ func run(batchName, policyName string, scale, dramRatio float64, verbose bool) e
 		fmt.Printf("  blocked waits     %s\n", run.BlockedHist)
 	}
 
-	if verbose {
+	if p.verbose {
 		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(w, "  pid\tname\tprio\tfinish\tmajflt\tllc-miss\tmem-stall\tstorage-wait\tstolen\tpf-issued\tpf-useful")
 		for _, p := range run.Procs {

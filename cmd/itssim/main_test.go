@@ -1,24 +1,106 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// p returns default CLI params overridden by fn.
+func p(fn func(*params)) params {
+	pp := params{
+		batch:       "1_Data_Intensive",
+		policy:      "ITS",
+		scale:       0.01,
+		format:      "text",
+		traceFormat: "chrome",
+	}
+	if fn != nil {
+		fn(&pp)
+	}
+	return pp
+}
 
 func TestRunCLI(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI run in -short mode")
 	}
-	if err := run("1_Data_Intensive", "ITS", 0.01, 0, true); err != nil {
+	if err := run(p(func(pp *params) { pp.verbose = true })); err != nil {
 		t.Fatal(err)
 	}
-	if err := run("No_Data_Intensive", "Sync", 0.01, 0.8, false); err != nil {
+	if err := run(p(func(pp *params) {
+		pp.batch = "No_Data_Intensive"
+		pp.policy = "Sync"
+		pp.dramRatio = 0.8
+	})); err != nil {
 		t.Fatal(err)
 	}
 }
 
+func TestRunCLIJSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run in -short mode")
+	}
+	if err := run(p(func(pp *params) { pp.format = "json" })); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCLITrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run in -short mode")
+	}
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "trace.json")
+	if err := run(p(func(pp *params) {
+		pp.traceOut = chrome
+		pp.gaugeEvery = 50 * time.Microsecond
+	})); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid Chrome JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("trace has no events")
+	}
+
+	jsonl := filepath.Join(dir, "trace.jsonl")
+	if err := run(p(func(pp *params) {
+		pp.traceOut = jsonl
+		pp.traceFormat = "jsonl"
+		pp.traceFilter = "MajorFaultBegin,MajorFaultEnd"
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if st, err := os.Stat(jsonl); err != nil || st.Size() == 0 {
+		t.Fatalf("jsonl trace missing or empty: %v", err)
+	}
+}
+
 func TestRunCLIRejectsUnknown(t *testing.T) {
-	if err := run("nope", "ITS", 0.01, 0, false); err == nil {
+	if err := run(p(func(pp *params) { pp.batch = "nope" })); err == nil {
 		t.Fatal("unknown batch accepted")
 	}
-	if err := run("1_Data_Intensive", "nope", 0.01, 0, false); err == nil {
+	if err := run(p(func(pp *params) { pp.policy = "nope" })); err == nil {
 		t.Fatal("unknown policy accepted")
+	}
+	if err := run(p(func(pp *params) { pp.format = "nope" })); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+	if err := run(p(func(pp *params) {
+		pp.traceOut = "x.json"
+		pp.traceFormat = "nope"
+	})); err == nil {
+		t.Fatal("unknown trace format accepted")
 	}
 }

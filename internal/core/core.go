@@ -12,6 +12,7 @@ import (
 
 	"itsim/internal/machine"
 	"itsim/internal/metrics"
+	"itsim/internal/obs"
 	"itsim/internal/policy"
 	"itsim/internal/sim"
 	"itsim/internal/workload"
@@ -28,6 +29,14 @@ type Options struct {
 	// ITS tunes the ITS policy used by RunBatch/RunGrid (ablations);
 	// the zero value selects the paper defaults.
 	ITS policy.ITSConfig
+	// Tracer receives the simulation event stream of every run started
+	// through this Options value (nil = tracing off). Multi-run
+	// experiments interleave their runs into the same sink, separated by
+	// RunBegin events.
+	Tracer *obs.Tracer
+	// GaugeInterval enables periodic virtual-time gauge sampling through
+	// Tracer at the given interval (0 = off).
+	GaugeInterval sim.Time
 }
 
 func (o Options) scale() float64 {
@@ -113,6 +122,7 @@ func RunBatch(b workload.Batch, kind policy.Kind, opts Options) (*metrics.Run, e
 // (ablations pass tailored ITS configurations here).
 func RunBatchWithPolicy(b workload.Batch, pol policy.Policy, opts Options) (*metrics.Run, error) {
 	m := machine.New(opts.machineConfig(b), pol, b.Name, specsFor(b, opts.scale()))
+	m.Instrument(opts.Tracer, opts.GaugeInterval)
 	run, err := m.Run()
 	if err != nil {
 		return run, fmt.Errorf("core: batch %s under %s: %w", b.Name, pol.Name(), err)
@@ -126,6 +136,7 @@ func RunBatchWithPolicy(b workload.Batch, pol policy.Policy, opts Options) (*met
 func RunSpecs(name string, specs []machine.ProcessSpec, pol policy.Policy, dataIntensive int, opts Options) (*metrics.Run, error) {
 	cfg := opts.machineConfig(workload.Batch{DataIntensive: dataIntensive})
 	m := machine.New(cfg, pol, name, specs)
+	m.Instrument(opts.Tracer, opts.GaugeInterval)
 	run, err := m.Run()
 	if err != nil {
 		return run, fmt.Errorf("core: custom run %s under %s: %w", name, pol.Name(), err)

@@ -197,6 +197,9 @@ func (p *PreExecCache) Config() cache.Config { return p.tags.Config() }
 // Stats exposes the underlying tag-array counters.
 func (p *PreExecCache) Stats() cache.Stats { return p.tags.Stats() }
 
+// ValidLines returns the number of lines currently present (gauge sampling).
+func (p *PreExecCache) ValidLines() int { return p.tags.ValidLines() }
+
 func (p *PreExecCache) byteMask(addr uint64, size uint8) uint64 {
 	off := int(addr) & (p.lineBytes - 1)
 	n := int(size)

@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"itsim/internal/mem"
+	"itsim/internal/obs"
 	"itsim/internal/pagetable"
 	"itsim/internal/sim"
 	"itsim/internal/storage"
@@ -70,7 +71,12 @@ type Kernel struct {
 	dev   *storage.Device
 	slots storage.SlotAllocator
 	stats Stats
+	// trc is the event tracer (nil = tracing off).
+	trc *obs.Tracer
 }
+
+// SetTracer attaches the event tracer the swap path reports to (nil = off).
+func (k *Kernel) SetTracer(trc *obs.Tracer) { k.trc = trc }
 
 // New builds a kernel over the given memory and device.
 func New(dram *mem.DRAM, dev *storage.Device) *Kernel {
@@ -229,6 +235,13 @@ func (k *Kernel) StartSwapIn(now sim.Time, pid int, va uint64, prefetched bool) 
 	if !prefetched {
 		k.stats.MajorFaults++
 	}
+	if k.trc.Wants(obs.EvSwapIn) {
+		cause := "demand"
+		if prefetched {
+			cause = "prefetch"
+		}
+		k.trc.Emit(obs.Event{Time: now, Type: obs.EvSwapIn, PID: pid, VA: va, Dur: done - now, Cause: cause})
+	}
 	out.Frame = id
 	out.Done = done
 	return out
@@ -240,11 +253,17 @@ func (k *Kernel) evict(now sim.Time, victim mem.FrameID) {
 	vf := k.dram.Frame(victim)
 	owner := k.Process(vf.Owner)
 	slot := k.slots.Alloc()
+	if k.trc.Wants(obs.EvEvict) {
+		k.trc.Emit(obs.Event{Time: now, Type: obs.EvEvict, PID: vf.Owner, VA: vf.VA})
+	}
 	if vf.Dirty {
 		// Asynchronous write-back: occupies a device channel and bus
 		// bandwidth but nothing waits on it.
 		k.dev.SubmitPage(now, storage.Write, slot)
 		k.stats.SwapOuts++
+		if k.trc.Wants(obs.EvWriteBack) {
+			k.trc.Emit(obs.Event{Time: now, Type: obs.EvWriteBack, PID: vf.Owner, VA: vf.VA})
+		}
 	}
 	owner.AS.MakeSwapped(vf.VA, slot)
 	k.dram.Release(victim, true)

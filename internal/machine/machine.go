@@ -18,6 +18,7 @@ import (
 	"itsim/internal/kernel"
 	"itsim/internal/mem"
 	"itsim/internal/metrics"
+	"itsim/internal/obs"
 	"itsim/internal/pagetable"
 	"itsim/internal/policy"
 	"itsim/internal/preexec"
@@ -213,6 +214,19 @@ type Machine struct {
 	lastOnCPU int
 	// lastPXPid tracks whose pre-execute state the hardware holds.
 	lastPXPid int
+
+	// trc is the user tracer (nil = tracing off); aud is the always-on
+	// accounting auditor. want caches, per event type, whether either
+	// consumer would accept it, so untraced emission sites cost one
+	// array load and branch.
+	trc  *obs.Tracer
+	aud  *obs.Auditor
+	want [obs.NumTypes]bool
+	// gaugeEvery is the virtual-time gauge sampling interval (0 = off).
+	gaugeEvery sim.Time
+	// dispatchedAt is when the current dispatch put its process on the
+	// CPU, for occupancy reporting on leave events.
+	dispatchedAt sim.Time
 }
 
 // New builds a machine for the given specs and policy. batchName labels the
@@ -292,6 +306,10 @@ func New(cfg Config, pol policy.Policy, batchName string, specs []ProcessSpec) *
 		inflight:  make(map[inflightKey]sim.Time),
 		lastOnCPU: -1,
 		lastPXPid: -1,
+		aud:       obs.NewAuditor(),
+	}
+	for i := range m.want {
+		m.want[i] = m.aud.Wants(obs.Type(i))
 	}
 
 	if cfg.StrictPriority {
@@ -368,6 +386,69 @@ func (m *Machine) warmStart(fraction float64, frames int) {
 	}
 }
 
+// Instrument attaches an event tracer and, when gaugeEvery > 0, a periodic
+// virtual-time gauge sampler to the machine. Call before Run. A nil tracer
+// leaves tracing off (the accounting auditor still runs — it is part of the
+// machine, not of tracing).
+func (m *Machine) Instrument(trc *obs.Tracer, gaugeEvery sim.Time) {
+	m.trc = trc
+	m.gaugeEvery = gaugeEvery
+	m.krn.SetTracer(trc)
+	if trc.Wants(obs.EvUnblock) {
+		m.sch.SetObserver(func(pid int, from, to sched.State) {
+			if from == sched.Blocked && to == sched.Ready {
+				m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvUnblock, PID: pid})
+			}
+		})
+	}
+	for i := range m.want {
+		m.want[i] = m.aud.Wants(obs.Type(i)) || trc.Wants(obs.Type(i))
+	}
+}
+
+// Auditor exposes the machine's accounting auditor (tests, tools).
+func (m *Machine) Auditor() *obs.Auditor { return m.aud }
+
+// emit routes one event to the auditor and the tracer. Emission sites guard
+// with m.want first so disabled types cost no event construction.
+func (m *Machine) emit(ev obs.Event) {
+	if m.aud.Wants(ev.Type) {
+		m.aud.Write(ev)
+	}
+	m.trc.Emit(ev)
+}
+
+// scheduleGauges starts the periodic gauge sampler when enabled. Each tick
+// emits counter events for the run-introspection quantities the aggregate
+// metrics cannot show over time: ready-queue depth, outstanding swap-ins,
+// LLC and pre-execute-cache occupancy, and busy storage channels.
+func (m *Machine) scheduleGauges() {
+	if m.gaugeEvery <= 0 || !m.want[obs.EvGauge] {
+		return
+	}
+	var tick func(now sim.Time)
+	tick = func(now sim.Time) {
+		m.emitGauges(now)
+		if m.sch.Alive() > 0 {
+			m.eng.Schedule(now+m.gaugeEvery, tick)
+		}
+	}
+	m.eng.Schedule(m.eng.Now()+m.gaugeEvery, tick)
+}
+
+func (m *Machine) emitGauges(now sim.Time) {
+	g := func(name string, v int64) {
+		m.emit(obs.Event{Time: now, Type: obs.EvGauge, PID: -1, Cause: name, Value: v})
+	}
+	g("ready_queue_depth", int64(m.sch.Runnable()))
+	g("outstanding_swapins", int64(len(m.inflight)))
+	g("llc_lines", int64(m.llc.ValidLines()))
+	if m.px != nil {
+		g("preexec_cache_lines", int64(m.px.PXC.ValidLines()))
+	}
+	g("busy_storage_channels", int64(m.krn.Device().BusyChannelsAt(now)))
+}
+
 // Kernel exposes the kernel for inspection (tests, tools).
 func (m *Machine) Kernel() *kernel.Kernel { return m.krn }
 
@@ -386,8 +467,13 @@ func tagged(pid int, addr uint64) uint64 {
 	return addr&(1<<pagetable.VABits-1) | uint64(pid+1)<<pagetable.VABits
 }
 
-// Run executes every process to completion and returns the metrics.
+// Run executes every process to completion and returns the metrics. The
+// always-on accounting auditor checks time conservation and monotonic
+// virtual time as the run executes; a violation fails the run loudly.
 func (m *Machine) Run() (*metrics.Run, error) {
+	m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvRunBegin, PID: -1,
+		Cause: m.run.Policy + "/" + m.run.Batch})
+	m.scheduleGauges()
 	for m.sch.Alive() > 0 {
 		if m.cfg.MaxSimTime > 0 && m.eng.Now() > m.cfg.MaxSimTime {
 			return m.run, fmt.Errorf("machine: exceeded max simulated time %v", m.cfg.MaxSimTime)
@@ -395,12 +481,19 @@ func (m *Machine) Run() (*metrics.Run, error) {
 		pid := m.sch.PickNext()
 		if pid == -1 {
 			// Everyone is blocked on asynchronous I/O: the CPU sits
-			// idle waiting for storage.
+			// idle waiting for storage. The idle-begin event must go out
+			// before StepOne — events fired inside carry later times.
 			t0 := m.eng.Now()
+			if m.want[obs.EvSchedIdleBegin] {
+				m.emit(obs.Event{Time: t0, Type: obs.EvSchedIdleBegin, PID: -1})
+			}
 			if !m.eng.StepOne() {
 				return m.run, fmt.Errorf("machine: deadlock — no runnable process and no pending event at %v", t0)
 			}
 			m.run.SchedulerIdle += m.eng.Now() - t0
+			if m.want[obs.EvSchedIdleEnd] {
+				m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvSchedIdleEnd, PID: -1})
+			}
 			continue
 		}
 		p := m.procs[pid]
@@ -412,10 +505,19 @@ func (m *Machine) Run() (*metrics.Run, error) {
 		}
 		m.lastOnCPU = pid
 		p.sliceLeft = m.sch.SliceFor(pid)
+		m.dispatchedAt = m.eng.Now()
+		if m.want[obs.EvDispatch] {
+			m.emit(obs.Event{Time: m.dispatchedAt, Type: obs.EvDispatch, PID: pid,
+				Cause: p.spec.Name, Value: int64(p.spec.Priority)})
+		}
 		m.runProcess(p)
 	}
 	m.run.Makespan = m.eng.Now()
+	m.emit(obs.Event{Time: m.run.Makespan, Type: obs.EvRunEnd, PID: -1})
 	m.eng.RunUntilIdle() // drain trailing prefetch/write-back completions
+	if err := m.aud.Err(); err != nil {
+		return m.run, fmt.Errorf("machine: accounting audit failed: %w", err)
+	}
 	return m.run, nil
 }
 
@@ -427,6 +529,10 @@ func (m *Machine) runProcess(p *proc) {
 			p.met.FinishTime = m.eng.Now()
 			p.met.Finished = true
 			m.sch.Finish(p.pid)
+			if m.want[obs.EvProcFinish] {
+				m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvProcFinish, PID: p.pid,
+					Dur: m.eng.Now() - m.dispatchedAt})
+			}
 			if m.eng.Now() > m.run.Makespan {
 				m.run.Makespan = m.eng.Now()
 			}
@@ -461,8 +567,15 @@ func (m *Machine) runProcess(p *proc) {
 				m.sch.Expire(p.pid)
 				return
 			}
+			if m.want[obs.EvSliceExpiry] {
+				m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvSliceExpiry, PID: p.pid})
+			}
 			if m.sch.Runnable() > 0 {
 				m.sch.Expire(p.pid)
+				if m.want[obs.EvPreempt] {
+					m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvPreempt, PID: p.pid,
+						Dur: m.eng.Now() - m.dispatchedAt})
+				}
 				m.chargeSwitch(p)
 				return
 			}
@@ -478,18 +591,25 @@ func (m *Machine) runProcess(p *proc) {
 func (m *Machine) chargeSwitch(p *proc) {
 	m.run.ContextSwitchTime += kernel.ContextSwitchCost
 	p.met.ContextSwitches++
+	cost := kernel.ContextSwitchCost + kernel.SwitchPollutionCost
 	if m.tlb != nil {
 		// Mechanistic mode: the switch flushes the TLB; the pollution
 		// cost emerges from the subsequent misses instead of a
 		// constant.
 		m.tlb.Flush()
-		m.advance(nil, kernel.ContextSwitchCost)
-		return
+		cost = kernel.ContextSwitchCost
 	}
-	m.advance(nil, kernel.ContextSwitchCost+kernel.SwitchPollutionCost)
-	// The pollution tail (TLB shootdown, re-missing hot cache lines,
-	// §2.1.1) surfaces as memory stall.
-	p.met.MemStall += kernel.SwitchPollutionCost
+	m.advance(nil, cost)
+	if m.tlb == nil {
+		// The pollution tail (TLB shootdown, re-missing hot cache lines,
+		// §2.1.1) surfaces as memory stall.
+		p.met.MemStall += kernel.SwitchPollutionCost
+	}
+	if m.want[obs.EvContextSwitch] {
+		// Dur is the full clock advance (switch plus pollution tail) so
+		// the auditor's time-conservation ledger balances.
+		m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvContextSwitch, PID: p.pid, Dur: cost})
+	}
 }
 
 // peek returns the i-th unexecuted record (0 = next), refilling the
@@ -549,6 +669,10 @@ func (m *Machine) access(p *proc, rec trace.Record) (blockedOut bool) {
 				// Swap-cache hit on a prefetched page: minor fault.
 				p.met.MinorFaults++
 				p.met.PrefetchUseful++
+				if m.want[obs.EvPrefetchHit] {
+					m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvPrefetchHit,
+						PID: p.pid, VA: rec.Addr})
+				}
 				m.advance(p, kernel.MinorFaultCost)
 				m.krn.ChargeHandler(kernel.MinorFaultCost)
 				m.run.FaultHandlerTime += kernel.MinorFaultCost
@@ -632,6 +756,10 @@ func (m *Machine) ensureSwapIn(p *proc, va uint64, kind swapKind) sim.Time {
 	})
 	if kind == swapPrefetch {
 		p.met.PrefetchIssued++
+		if m.want[obs.EvPrefetchIssue] {
+			m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvPrefetchIssue,
+				PID: p.pid, VA: page, Dur: out.Done - m.eng.Now()})
+		}
 	}
 	return out.Done
 }
@@ -673,6 +801,9 @@ func (m *Machine) tryPrefetch(p *proc, va uint64) {
 	}
 	if !m.krn.Device().FreeChannelAt(pte.Frame(), m.eng.Now()) {
 		p.met.PrefetchDropped++
+		if m.want[obs.EvPrefetchDrop] {
+			m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvPrefetchDrop, PID: p.pid, VA: page})
+		}
 		return
 	}
 	m.ensureSwapIn(p, page, swapPrefetch)
@@ -681,6 +812,13 @@ func (m *Machine) tryPrefetch(p *proc, va uint64) {
 // majorFault runs the paper's Figure 1 flow for one major fault. It returns
 // true when the process blocked (async mode).
 func (m *Machine) majorFault(p *proc, rec trace.Record) (blocked bool) {
+	// The begin event goes out at entry, before any cost is charged: the
+	// policy decision (and thus the handling mode) is only known later, so
+	// the mode rides on the matching end event.
+	faultStart := m.eng.Now()
+	if m.want[obs.EvMajorFaultBegin] {
+		m.emit(obs.Event{Time: faultStart, Type: obs.EvMajorFaultBegin, PID: p.pid, VA: rec.Addr})
+	}
 	p.met.MajorFaults++
 	m.advance(p, kernel.FaultEntryCost)
 	m.krn.ChargeHandler(kernel.FaultEntryCost)
@@ -722,6 +860,11 @@ func (m *Machine) majorFault(p *proc, rec trace.Record) (blocked bool) {
 		m.sch.Block(p.pid)
 		p.blockedAt = m.eng.Now()
 		p.wasBlocked = true
+		if m.want[obs.EvBlock] {
+			m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvBlock, PID: p.pid,
+				VA: rec.Addr, Dur: m.eng.Now() - m.dispatchedAt})
+		}
+		m.scheduleFaultEnd(p, rec.Addr, faultStart, done, "async")
 		// Wake up when the page lands (after the completion event at
 		// the same timestamp, thanks to FIFO event ordering).
 		m.eng.Schedule(done, func(sim.Time) { m.sch.Unblock(p.pid) })
@@ -740,6 +883,11 @@ func (m *Machine) majorFault(p *proc, rec trace.Record) (blocked bool) {
 		m.sch.Block(p.pid)
 		p.blockedAt = m.eng.Now()
 		p.wasBlocked = true
+		if m.want[obs.EvBlock] {
+			m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvBlock, PID: p.pid,
+				VA: rec.Addr, Dur: m.eng.Now() - m.dispatchedAt})
+		}
+		m.scheduleFaultEnd(p, rec.Addr, faultStart, done, "spin")
 		m.eng.Schedule(done, func(sim.Time) { m.sch.Unblock(p.pid) })
 		m.chargeSwitch(p)
 		return true
@@ -760,6 +908,10 @@ func (m *Machine) majorFault(p *proc, rec trace.Record) (blocked bool) {
 		}
 		m.advance(p, walk)
 		p.met.StolenPrefetch += walk
+		if m.want[obs.EvPrefetchWalk] {
+			m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvPrefetchWalk, PID: p.pid,
+				Dur: walk, Value: int64(d.PrefetchScanned)})
+		}
 	}
 	for _, pv := range d.Prefetch {
 		m.tryPrefetch(p, pv)
@@ -778,7 +930,24 @@ func (m *Machine) majorFault(p *proc, rec trace.Record) (blocked bool) {
 	if preexecuted {
 		m.endRecovery(p, windowStart, done)
 	}
+	if m.want[obs.EvMajorFaultEnd] {
+		m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvMajorFaultEnd, PID: p.pid,
+			VA: rec.Addr, Dur: m.eng.Now() - faultStart, Cause: "sync"})
+	}
 	return false
+}
+
+// scheduleFaultEnd arranges the EvMajorFaultEnd of an asynchronous or
+// spin-then-block fault to fire when its DMA lands, keeping the event stream
+// monotonic while other processes run inside the window.
+func (m *Machine) scheduleFaultEnd(p *proc, va uint64, faultStart, done sim.Time, mode string) {
+	if !m.want[obs.EvMajorFaultEnd] {
+		return
+	}
+	m.eng.Schedule(done, func(now sim.Time) {
+		m.emit(obs.Event{Time: now, Type: obs.EvMajorFaultEnd, PID: p.pid,
+			VA: va, Dur: now - faultStart, Cause: mode})
+	})
 }
 
 // endRecovery applies the §3.4.3 termination mode after a pre-execution
@@ -791,6 +960,10 @@ func (m *Machine) endRecovery(p *proc, windowStart, done sim.Time) {
 		p.met.RecoveryOverhead += InterruptCost
 		m.krn.ChargeHandler(InterruptCost)
 		m.run.FaultHandlerTime += InterruptCost
+		if m.want[obs.EvRecovery] {
+			m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvRecovery, PID: p.pid,
+				Dur: InterruptCost, Cause: "interrupt"})
+		}
 		return
 	}
 	elapsed := done - windowStart
@@ -799,6 +972,10 @@ func (m *Machine) endRecovery(p *proc, windowStart, done sim.Time) {
 		m.advance(p, over)
 		p.met.RecoveryOverhead += over
 		p.met.StorageWait += over
+	}
+	if m.want[obs.EvRecovery] {
+		m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvRecovery, PID: p.pid,
+			Dur: over, Cause: "poll"})
 	}
 }
 
@@ -852,4 +1029,8 @@ func (m *Machine) preExecute(p *proc, faulting trace.Record, window sim.Time) {
 	p.met.PreexecInstrs += res.Instrs
 	p.met.PreexecValid += res.Valid
 	p.met.PreexecFills += res.Fills
+	if m.want[obs.EvPreexecWindow] {
+		m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvPreexecWindow, PID: p.pid,
+			Dur: res.Used, Value: int64(res.Instrs)})
+	}
 }

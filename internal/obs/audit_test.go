@@ -1,0 +1,171 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"itsim/internal/sim"
+)
+
+// feed writes a stream of events into a fresh auditor.
+func feed(evs ...Event) *Auditor {
+	a := NewAuditor()
+	for _, ev := range evs {
+		a.Write(ev)
+	}
+	return a
+}
+
+// A fully-accounted run: two dispatches separated by a context switch, a
+// scheduler-idle span, and a final dispatch, summing exactly to the makespan.
+func goodRun() []Event {
+	return []Event{
+		{Time: 0, Type: EvRunBegin, PID: -1, Cause: "ITS/test"},
+		{Time: 0, Type: EvDispatch, PID: 0},
+		{Time: 100, Type: EvPreempt, PID: 0, Dur: 100},
+		{Time: 110, Type: EvContextSwitch, PID: 1, Dur: 10},
+		{Time: 110, Type: EvDispatch, PID: 1},
+		{Time: 200, Type: EvBlock, PID: 1, Dur: 90},
+		{Time: 210, Type: EvContextSwitch, PID: 0, Dur: 10},
+		{Time: 210, Type: EvSchedIdleBegin, PID: -1},
+		{Time: 300, Type: EvSchedIdleEnd, PID: -1},
+		{Time: 300, Type: EvDispatch, PID: 0},
+		{Time: 400, Type: EvProcFinish, PID: 0, Dur: 100},
+		{Time: 400, Type: EvRunEnd, PID: -1},
+	}
+}
+
+func TestAuditorPassesConservedRun(t *testing.T) {
+	a := feed(goodRun()...)
+	if err := a.Err(); err != nil {
+		t.Fatalf("well-formed run failed the audit: %v", err)
+	}
+	if a.Accounted() != sim.Time(400) {
+		t.Fatalf("accounted %v, want 400", a.Accounted())
+	}
+	if a.Events() != 12 {
+		t.Fatalf("observed %d events, want 12", a.Events())
+	}
+}
+
+// mutate runs goodRun with one event transformed (or dropped when fn returns
+// false) and asserts the auditor flags it with a message containing want.
+func mutate(t *testing.T, want string, fn func(ev *Event) bool) {
+	t.Helper()
+	a := NewAuditor()
+	for _, ev := range goodRun() {
+		if fn(&ev) {
+			a.Write(ev)
+		}
+	}
+	err := a.Err()
+	if err == nil {
+		t.Fatalf("mis-accounted run passed the audit (wanted %q)", want)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Fatalf("audit error %q does not mention %q", err, want)
+	}
+}
+
+func TestAuditorCatchesDroppedContextSwitch(t *testing.T) {
+	first := true
+	mutate(t, "time conservation broken", func(ev *Event) bool {
+		if ev.Type == EvContextSwitch && first {
+			first = false
+			return false
+		}
+		return true
+	})
+}
+
+func TestAuditorCatchesBackwardsTime(t *testing.T) {
+	mutate(t, "virtual time went backwards", func(ev *Event) bool {
+		if ev.Type == EvSchedIdleEnd {
+			ev.Time = 50
+		}
+		return true
+	})
+}
+
+func TestAuditorCatchesOccupancyMismatch(t *testing.T) {
+	mutate(t, "occupancy mismatch", func(ev *Event) bool {
+		if ev.Type == EvPreempt {
+			ev.Dur = 99
+		}
+		return true
+	})
+}
+
+func TestAuditorCatchesDoubleDispatch(t *testing.T) {
+	mutate(t, "still on CPU", func(ev *Event) bool {
+		if ev.Type == EvPreempt {
+			*ev = Event{Time: ev.Time, Type: EvDispatch, PID: 2}
+		}
+		return true
+	})
+}
+
+func TestAuditorCatchesLeaveWithoutDispatch(t *testing.T) {
+	mutate(t, "no process on CPU", func(ev *Event) bool {
+		return !(ev.Type == EvDispatch && ev.Time == 0)
+	})
+}
+
+func TestAuditorCatchesRunEndDrift(t *testing.T) {
+	mutate(t, "time conservation broken at run end", func(ev *Event) bool {
+		if ev.Type == EvRunEnd {
+			ev.Time = 450
+		}
+		return true
+	})
+}
+
+func TestAuditorCatchesUnbalancedIdle(t *testing.T) {
+	mutate(t, "scheduler-idle end without begin", func(ev *Event) bool {
+		return ev.Type != EvSchedIdleBegin
+	})
+}
+
+// A second EvRunBegin legitimately restarts the virtual clock: two
+// back-to-back clean runs through one auditor must stay clean.
+func TestAuditorResetsAcrossRuns(t *testing.T) {
+	a := NewAuditor()
+	for i := 0; i < 2; i++ {
+		for _, ev := range goodRun() {
+			a.Write(ev)
+		}
+	}
+	if err := a.Err(); err != nil {
+		t.Fatalf("clean back-to-back runs failed the audit: %v", err)
+	}
+	if a.Events() != 24 {
+		t.Fatalf("observed %d events, want 24", a.Events())
+	}
+}
+
+func TestAuditorNilSafe(t *testing.T) {
+	var a *Auditor
+	if a.Wants(EvDispatch) {
+		t.Fatal("nil auditor wants events")
+	}
+	if err := a.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAuditorViolationString(t *testing.T) {
+	a := feed(
+		Event{Time: 0, Type: EvRunBegin, PID: -1},
+		Event{Time: 10, Type: EvPreempt, PID: 3, Dur: 10, VA: 0x40, Cause: "x"},
+	)
+	vs := a.Violations()
+	if len(vs) == 0 {
+		t.Fatal("no violation recorded")
+	}
+	s := vs[0].String()
+	for _, frag := range []string{"Preempt", "pid=3", "0x40"} {
+		if !strings.Contains(s, frag) {
+			t.Fatalf("violation string %q missing %q", s, frag)
+		}
+	}
+}

@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// Chrome trace-event track (tid) layout. Each simulated process gets its own
+// track (tid = PID + 1); kernel activity gets dedicated kernel-thread
+// tracks, mirroring how the paper's ITS work runs in kernel threads.
+const (
+	// tidSched is the scheduler track: context switches and idle spans.
+	tidSched = 900
+	// tidSwap is the kernel swap track: swap-ins, evictions, write-backs.
+	tidSwap = 901
+	// tidPrefetch is the ITS self-improving thread's prefetch track.
+	tidPrefetch = 902
+	// tidPreexec is the pre-execution (runahead) track.
+	tidPreexec = 903
+)
+
+// Chrome serializes events into Chrome trace-event JSON
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing. Consecutive
+// runs sharing one sink become separate trace "processes" named after their
+// policy/batch. Timestamps are virtual microseconds.
+//
+// The output is the object form {"traceEvents":[...]}; Close writes the
+// closing bracket, so a trace is valid JSON only after Close.
+type Chrome struct {
+	bw    *bufio.Writer
+	err   error
+	first bool
+	// run is the current trace-process id, bumped on EvRunBegin.
+	run int
+	// named tracks whether thread_name metadata was emitted per tid of
+	// the current run.
+	named map[int]bool
+}
+
+// chromeEvent is one trace-event record.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  *float64       `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// NewChrome returns a Chrome trace sink over w. The caller owns the writer;
+// Close writes the trailer and flushes but does not close it.
+func NewChrome(w io.Writer) *Chrome {
+	return &Chrome{bw: bufio.NewWriterSize(w, 64<<10), first: true, run: 1, named: make(map[int]bool)}
+}
+
+// us converts a virtual time to trace microseconds.
+func us(t int64) float64 { return float64(t) / 1e3 }
+
+func (c *Chrome) put(ev chromeEvent) {
+	if c.err != nil {
+		return
+	}
+	if c.first {
+		if _, err := c.bw.WriteString(`{"traceEvents":[` + "\n"); err != nil {
+			c.err = err
+			return
+		}
+		c.first = false
+	} else if _, err := c.bw.WriteString(",\n"); err != nil {
+		c.err = err
+		return
+	}
+	b, err := json.Marshal(ev)
+	if err != nil {
+		c.err = err
+		return
+	}
+	if _, err := c.bw.Write(b); err != nil {
+		c.err = err
+	}
+}
+
+// meta emits a metadata record.
+func (c *Chrome) meta(name string, tid int, value string) {
+	c.put(chromeEvent{Name: name, Ph: "M", PID: c.run, TID: tid, Args: map[string]any{"name": value}})
+}
+
+// thread lazily names a track and returns its tid unchanged.
+func (c *Chrome) thread(tid int, name string) int {
+	if !c.named[tid] {
+		c.named[tid] = true
+		c.meta("thread_name", tid, name)
+	}
+	return tid
+}
+
+// slice emits a complete ("X") span ending at ev.Time with length ev.Dur.
+func (c *Chrome) slice(ev Event, tid int, name string, args map[string]any) {
+	d := us(int64(ev.Dur))
+	c.put(chromeEvent{Name: name, Ph: "X", Ts: us(int64(ev.Time - ev.Dur)), Dur: &d, PID: c.run, TID: tid, Args: args})
+}
+
+// instant emits a thread-scoped instant ("i") record.
+func (c *Chrome) instant(ev Event, tid int, name string, args map[string]any) {
+	c.put(chromeEvent{Name: name, Ph: "i", Ts: us(int64(ev.Time)), PID: c.run, TID: tid, S: "t", Args: args})
+}
+
+// Write implements Sink.
+func (c *Chrome) Write(ev Event) {
+	switch ev.Type {
+	case EvRunBegin:
+		if len(c.named) > 0 {
+			c.run++
+			c.named = make(map[int]bool)
+		}
+		c.named[-1] = true // mark the run open even if nothing else emits
+		c.meta("process_name", 0, ev.Cause)
+	case EvRunEnd:
+		c.instant(ev, c.thread(tidSched, "kernel:sched"), "run-end", nil)
+	case EvDispatch:
+		tid := c.thread(ev.PID+1, "proc:"+ev.Cause)
+		c.instant(ev, tid, "dispatch", map[string]any{"prio": ev.Value})
+	case EvPreempt, EvBlock, EvProcFinish:
+		c.slice(ev, c.thread(ev.PID+1, "proc"), "run", map[string]any{"end": ev.Type.String()})
+	case EvUnblock:
+		c.instant(ev, c.thread(ev.PID+1, "proc"), "wake", nil)
+	case EvSliceExpiry:
+		c.instant(ev, c.thread(ev.PID+1, "proc"), "slice-expiry", nil)
+	case EvContextSwitch:
+		c.slice(ev, c.thread(tidSched, "kernel:sched"), "switch", map[string]any{"pid": ev.PID})
+	case EvSchedIdleBegin:
+		c.put(chromeEvent{Name: "idle", Ph: "B", Ts: us(int64(ev.Time)), PID: c.run, TID: c.thread(tidSched, "kernel:sched")})
+	case EvSchedIdleEnd:
+		c.put(chromeEvent{Name: "idle", Ph: "E", Ts: us(int64(ev.Time)), PID: c.run, TID: c.thread(tidSched, "kernel:sched")})
+	case EvMajorFaultBegin:
+		c.put(chromeEvent{Name: "major-fault", Ph: "B", Ts: us(int64(ev.Time)), PID: c.run,
+			TID: c.thread(ev.PID+1, "proc"), Args: map[string]any{"va": hexVA(ev.VA)}})
+	case EvMajorFaultEnd:
+		c.put(chromeEvent{Name: "major-fault", Ph: "E", Ts: us(int64(ev.Time)), PID: c.run,
+			TID: c.thread(ev.PID+1, "proc"), Args: map[string]any{"va": hexVA(ev.VA), "mode": ev.Cause}})
+	case EvPrefetchIssue:
+		c.instant(ev, c.thread(tidPrefetch, "kernel:its-prefetch"), "prefetch-issue",
+			map[string]any{"pid": ev.PID, "va": hexVA(ev.VA), "lat_ns": int64(ev.Dur)})
+	case EvPrefetchDrop:
+		c.instant(ev, c.thread(tidPrefetch, "kernel:its-prefetch"), "prefetch-drop",
+			map[string]any{"pid": ev.PID, "va": hexVA(ev.VA)})
+	case EvPrefetchHit:
+		c.instant(ev, c.thread(tidPrefetch, "kernel:its-prefetch"), "prefetch-hit",
+			map[string]any{"pid": ev.PID, "va": hexVA(ev.VA)})
+	case EvPrefetchWalk:
+		c.slice(ev, c.thread(tidPrefetch, "kernel:its-prefetch"), "pt-walk",
+			map[string]any{"pid": ev.PID, "scanned": ev.Value})
+	case EvPreexecWindow:
+		c.slice(ev, c.thread(tidPreexec, "kernel:preexec"), "preexec",
+			map[string]any{"pid": ev.PID, "instrs": ev.Value})
+	case EvRecovery:
+		c.slice(ev, c.thread(tidPreexec, "kernel:preexec"), "recovery", map[string]any{"pid": ev.PID})
+	case EvSwapIn:
+		c.instant(ev, c.thread(tidSwap, "kernel:swap"), "swap-in",
+			map[string]any{"pid": ev.PID, "va": hexVA(ev.VA), "lat_ns": int64(ev.Dur), "kind": ev.Cause})
+	case EvEvict:
+		c.instant(ev, c.thread(tidSwap, "kernel:swap"), "evict", map[string]any{"pid": ev.PID, "va": hexVA(ev.VA)})
+	case EvWriteBack:
+		c.instant(ev, c.thread(tidSwap, "kernel:swap"), "writeback", map[string]any{"pid": ev.PID, "va": hexVA(ev.VA)})
+	case EvGauge:
+		c.put(chromeEvent{Name: ev.Cause, Ph: "C", Ts: us(int64(ev.Time)), PID: c.run, TID: 0,
+			Args: map[string]any{"value": ev.Value}})
+	}
+}
+
+// Close writes the trace trailer and flushes.
+func (c *Chrome) Close() error {
+	if c.err != nil {
+		return c.err
+	}
+	if c.first {
+		if _, err := c.bw.WriteString(`{"traceEvents":[`); err != nil {
+			return err
+		}
+		c.first = false
+	}
+	if _, err := c.bw.WriteString("\n]}\n"); err != nil {
+		return err
+	}
+	return c.bw.Flush()
+}

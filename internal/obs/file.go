@@ -1,0 +1,61 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// fileSink pairs a serializing sink with the file it writes, so Close
+// flushes the trace and releases the descriptor.
+type fileSink struct {
+	Sink
+	f *os.File
+}
+
+func (s fileSink) Close() error {
+	err := s.Sink.Close()
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// OpenFileSink creates path and returns a sink serializing in the given
+// format: "chrome" (Chrome trace-event JSON, Perfetto-loadable) or "jsonl"
+// (one JSON object per line). Closing the sink finalizes and closes the
+// file.
+func OpenFileSink(path, format string) (Sink, error) {
+	var mk func(f *os.File) Sink
+	switch format {
+	case "chrome":
+		mk = func(f *os.File) Sink { return NewChrome(f) }
+	case "jsonl":
+		mk = func(f *os.File) Sink { return NewJSONL(f) }
+	default:
+		return nil, fmt.Errorf("obs: unknown trace format %q (want chrome or jsonl)", format)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	return fileSink{Sink: mk(f), f: f}, nil
+}
+
+// TracerFromFlags builds a tracer from the standard CLI trace flags
+// (-trace-out, -trace-format, -trace-filter). An empty path means tracing
+// off and yields a nil tracer. The caller must Close the tracer to finalize
+// the output file.
+func TracerFromFlags(path, format, filter string) (*Tracer, error) {
+	if path == "" {
+		return nil, nil
+	}
+	f, err := ParseFilter(filter)
+	if err != nil {
+		return nil, err
+	}
+	sink, err := OpenFileSink(path, format)
+	if err != nil {
+		return nil, err
+	}
+	return NewTracer(sink, f), nil
+}

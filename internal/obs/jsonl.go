@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonlEvent is the wire form of one JSONL event. Times are integer virtual
+// nanoseconds so lines stay trivially machine-readable (jq, awk).
+type jsonlEvent struct {
+	T     int64  `json:"t"`
+	Type  string `json:"type"`
+	PID   *int   `json:"pid,omitempty"`
+	VA    string `json:"va,omitempty"`
+	Dur   int64  `json:"dur,omitempty"`
+	Value int64  `json:"value,omitempty"`
+	Cause string `json:"cause,omitempty"`
+}
+
+// JSONL writes one JSON object per event to an io.Writer. The caller owns
+// the writer; Close flushes but does not close it.
+type JSONL struct {
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewJSONL returns a JSONL sink over w.
+func NewJSONL(w io.Writer) *JSONL {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write implements Sink.
+func (s *JSONL) Write(ev Event) {
+	if s.err != nil {
+		return
+	}
+	je := jsonlEvent{
+		T:     int64(ev.Time),
+		Type:  ev.Type.String(),
+		Dur:   int64(ev.Dur),
+		Value: ev.Value,
+		Cause: ev.Cause,
+	}
+	if ev.PID >= 0 {
+		pid := ev.PID
+		je.PID = &pid
+	}
+	if ev.VA != 0 {
+		je.VA = hexVA(ev.VA)
+	}
+	if err := s.enc.Encode(&je); err != nil {
+		s.err = err
+	}
+}
+
+// Close flushes buffered lines.
+func (s *JSONL) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// hexVA renders a virtual address as 0x-prefixed hex.
+func hexVA(va uint64) string {
+	const digits = "0123456789abcdef"
+	var b [18]byte
+	i := len(b)
+	for {
+		i--
+		b[i] = digits[va&0xF]
+		va >>= 4
+		if va == 0 {
+			break
+		}
+	}
+	i -= 2
+	b[i], b[i+1] = '0', 'x'
+	return string(b[i:])
+}

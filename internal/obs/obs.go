@@ -1,0 +1,361 @@
+// Package obs is the simulator's event-tracing and run-introspection layer:
+// a structured stream of typed simulation events carrying virtual timestamps,
+// emitted by the machine, kernel and scheduler as a run executes, fanned out
+// to pluggable sinks.
+//
+// The paper's whole evaluation (§4, Figs 4–5) rests on *attributing* CPU
+// idle time to memory stalls, storage busy-wait, context switches and
+// scheduler idle; aggregate end-of-run counters cannot show *when* a fault
+// window was stolen or *why* a prefetch missed. The event stream can.
+//
+// Shipped sinks:
+//
+//   - JSONL (jsonl.go)  — one JSON object per event, greppable/jq-able;
+//   - Chrome (chrome.go) — Chrome trace-event JSON, loadable in Perfetto or
+//     chrome://tracing, with one track per simulated process plus
+//     kernel-thread tracks for scheduler, swap and ITS activity;
+//   - Ring (this file)   — a bounded in-memory buffer for tests;
+//   - Auditor (audit.go) — no output; continuously checks the machine's
+//     time-conservation and monotonicity invariants.
+//
+// Tracing is off by default: a nil *Tracer is valid everywhere and every
+// emission site guards on it, so the untraced hot path costs one predicated
+// branch (see BenchmarkTraceOff/BenchmarkTraceChrome in internal/machine).
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"itsim/internal/sim"
+)
+
+// Type enumerates the simulation event types.
+type Type uint8
+
+// Event types. Machine-scope events (run bounds, scheduler idle, gauges)
+// carry PID = -1.
+const (
+	// EvRunBegin opens a run; Cause is "policy/batch". Sinks use it to
+	// separate consecutive runs sharing one output file.
+	EvRunBegin Type = iota
+	// EvRunEnd closes a run at its makespan.
+	EvRunEnd
+	// EvDispatch puts a process on the CPU (Cause = process name,
+	// Value = priority).
+	EvDispatch
+	// EvPreempt takes the CPU away at slice expiry with another process
+	// ready; Dur is the time the process occupied the CPU this dispatch.
+	EvPreempt
+	// EvBlock parks the running process on asynchronous I/O; Dur is the
+	// CPU occupancy of the ending dispatch.
+	EvBlock
+	// EvUnblock marks a blocked process turning runnable (I/O landed).
+	EvUnblock
+	// EvSliceExpiry marks a time-slice running out (the slice refreshes
+	// in place when no other process is ready; EvPreempt follows when the
+	// CPU actually rotates).
+	EvSliceExpiry
+	// EvProcFinish retires a process whose trace is exhausted; Dur is the
+	// final dispatch's CPU occupancy.
+	EvProcFinish
+	// EvContextSwitch is the wall-clock cost of one context switch
+	// (save/restore plus, in the default model, the cache/TLB pollution
+	// tail); Dur is the full charge.
+	EvContextSwitch
+	// EvSchedIdleBegin/End bracket spans with no runnable process (every
+	// process blocked on storage).
+	EvSchedIdleBegin
+	EvSchedIdleEnd
+	// EvMajorFaultBegin/End bracket one major page fault of PID at VA.
+	// End carries Dur = the whole window and Cause = handling mode
+	// ("sync", "async", "spin").
+	EvMajorFaultBegin
+	EvMajorFaultEnd
+	// EvPrefetchIssue is a prefetch swap-in started for (PID, VA); Dur is
+	// the predicted DMA completion delay.
+	EvPrefetchIssue
+	// EvPrefetchDrop is a prefetch candidate rejected by device admission
+	// control (channel busy).
+	EvPrefetchDrop
+	// EvPrefetchHit is a first touch of a prefetched page (swap-cache-hit
+	// minor fault) — the prefetcher's payoff.
+	EvPrefetchHit
+	// EvPrefetchWalk is one page-table candidate walk (Value = PTEs
+	// scanned, Dur = CPU time charged for the walk).
+	EvPrefetchWalk
+	// EvPreexecWindow is one pre-execution episode; Time is the episode
+	// end, Dur the busy-wait time consumed, Value the instructions
+	// pre-executed.
+	EvPreexecWindow
+	// EvRecovery is the state-recovery termination charge ending a
+	// pre-execution episode (interrupt cost or polling overshoot in Dur).
+	EvRecovery
+	// EvSwapIn is a kernel swap-in DMA submission (Dur = completion
+	// delay, Cause = "demand" or "prefetch").
+	EvSwapIn
+	// EvEvict is a page eviction (PID/VA identify the victim page).
+	EvEvict
+	// EvWriteBack is a dirty-victim write-back DMA submission.
+	EvWriteBack
+	// EvGauge is a periodic virtual-time gauge sample (Cause = gauge
+	// name, Value = sampled value).
+	EvGauge
+
+	// NumTypes is the number of event types (array sizing).
+	NumTypes
+)
+
+var typeNames = [NumTypes]string{
+	EvRunBegin:        "RunBegin",
+	EvRunEnd:          "RunEnd",
+	EvDispatch:        "Dispatch",
+	EvPreempt:         "Preempt",
+	EvBlock:           "Block",
+	EvUnblock:         "Unblock",
+	EvSliceExpiry:     "SliceExpiry",
+	EvProcFinish:      "ProcFinish",
+	EvContextSwitch:   "ContextSwitch",
+	EvSchedIdleBegin:  "SchedulerIdleBegin",
+	EvSchedIdleEnd:    "SchedulerIdleEnd",
+	EvMajorFaultBegin: "MajorFaultBegin",
+	EvMajorFaultEnd:   "MajorFaultEnd",
+	EvPrefetchIssue:   "PrefetchIssue",
+	EvPrefetchDrop:    "PrefetchDrop",
+	EvPrefetchHit:     "PrefetchHit",
+	EvPrefetchWalk:    "PrefetchWalk",
+	EvPreexecWindow:   "PreexecWindow",
+	EvRecovery:        "Recovery",
+	EvSwapIn:          "SwapIn",
+	EvEvict:           "Evict",
+	EvWriteBack:       "WriteBack",
+	EvGauge:           "Gauge",
+}
+
+// String names the type as used in filters and JSONL output.
+func (t Type) String() string {
+	if t < NumTypes {
+		return typeNames[t]
+	}
+	return fmt.Sprintf("Type(%d)", int(t))
+}
+
+// ParseType resolves a type name (case-insensitive).
+func ParseType(name string) (Type, error) {
+	for t, n := range typeNames {
+		if strings.EqualFold(n, name) {
+			return Type(t), nil
+		}
+	}
+	return 0, fmt.Errorf("obs: unknown event type %q", name)
+}
+
+// Event is one structured simulation event. Field meaning varies by Type
+// (see the type constants); unused fields are zero.
+type Event struct {
+	// Time is the virtual timestamp. For windowed types (EvPreempt,
+	// EvBlock, EvProcFinish, EvContextSwitch, EvPreexecWindow,
+	// EvRecovery, EvMajorFaultEnd) it is the *end* of the span and Dur
+	// its length, so the stream stays monotonic.
+	Time sim.Time
+	// Dur is the span length for windowed types, or a predicted
+	// completion delay for I/O submissions.
+	Dur sim.Time
+	// Value carries a type-specific count (priority, PTEs scanned,
+	// instructions, gauge sample).
+	Value int64
+	// VA is the page-aligned or faulting virtual address, when relevant.
+	VA uint64
+	// PID is the simulated process id, or -1 for machine-scope events.
+	PID int
+	// Type discriminates the event.
+	Type Type
+	// Cause is a short type-specific label (policy mode, process name,
+	// gauge name, swap-in reason).
+	Cause string
+}
+
+// Sink consumes events. Write must not retain ev beyond the call unless it
+// copies it. Close flushes buffered output; sinks must tolerate Close
+// without any prior Write.
+type Sink interface {
+	Write(ev Event)
+	Close() error
+}
+
+// Filter restricts which events a Tracer forwards.
+type Filter struct {
+	// Types is the allowed set; nil admits every type. EvRunBegin and
+	// EvRunEnd always pass — sinks need the run boundaries to stay
+	// well-formed.
+	Types map[Type]bool
+	// PIDs is the allowed process-id set; nil admits every pid.
+	// Machine-scope events (PID = -1) always pass.
+	PIDs map[int]bool
+}
+
+// ParseFilter parses a -trace-filter flag value: a comma-separated list of
+// event type names (case-insensitive) and "pid=N" entries. An empty string
+// means no filtering. Example: "PrefetchIssue,PrefetchHit,pid=0,pid=2".
+func ParseFilter(s string) (Filter, error) {
+	var f Filter
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return f, nil
+	}
+	for _, tok := range strings.Split(s, ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(tok, "pid="); ok {
+			pid, err := strconv.Atoi(rest)
+			if err != nil {
+				return Filter{}, fmt.Errorf("obs: bad pid filter %q: %w", tok, err)
+			}
+			if f.PIDs == nil {
+				f.PIDs = make(map[int]bool)
+			}
+			f.PIDs[pid] = true
+			continue
+		}
+		t, err := ParseType(tok)
+		if err != nil {
+			return Filter{}, err
+		}
+		if f.Types == nil {
+			f.Types = make(map[Type]bool)
+		}
+		f.Types[t] = true
+	}
+	return f, nil
+}
+
+// Tracer forwards events to a sink, applying a filter. A nil *Tracer is
+// valid and drops everything — the off-by-default fast path.
+type Tracer struct {
+	sink  Sink
+	types [NumTypes]bool
+	pids  map[int]bool // nil = all
+}
+
+// NewTracer builds a tracer over sink with the given filter. A nil sink
+// yields a nil tracer (tracing off).
+func NewTracer(sink Sink, f Filter) *Tracer {
+	if sink == nil {
+		return nil
+	}
+	t := &Tracer{sink: sink, pids: f.PIDs}
+	for i := range t.types {
+		t.types[i] = f.Types == nil || f.Types[Type(i)]
+	}
+	// Run boundaries always pass: sinks key multi-run output off them.
+	t.types[EvRunBegin] = true
+	t.types[EvRunEnd] = true
+	return t
+}
+
+// Wants reports whether events of this type can pass the filter; emission
+// sites use it to skip building events nobody will see.
+func (t *Tracer) Wants(typ Type) bool {
+	return t != nil && t.types[typ]
+}
+
+// Emit forwards ev to the sink if it passes the filter. Safe on nil.
+func (t *Tracer) Emit(ev Event) {
+	if t == nil || !t.types[ev.Type] {
+		return
+	}
+	if t.pids != nil && ev.PID >= 0 && !t.pids[ev.PID] {
+		return
+	}
+	t.sink.Write(ev)
+}
+
+// Close closes the underlying sink. Safe on nil.
+func (t *Tracer) Close() error {
+	if t == nil {
+		return nil
+	}
+	return t.sink.Close()
+}
+
+// Ring is a bounded in-memory sink for tests: it keeps the most recent
+// events, dropping the oldest once full.
+type Ring struct {
+	buf     []Event
+	next    int
+	wrapped bool
+	dropped uint64
+}
+
+// NewRing returns a ring sink holding up to n events (n ≥ 1).
+func NewRing(n int) *Ring {
+	if n < 1 {
+		n = 1
+	}
+	return &Ring{buf: make([]Event, 0, n)}
+}
+
+// Write implements Sink.
+func (r *Ring) Write(ev Event) {
+	if len(r.buf) < cap(r.buf) {
+		r.buf = append(r.buf, ev)
+		return
+	}
+	r.buf[r.next] = ev
+	r.next = (r.next + 1) % cap(r.buf)
+	r.wrapped = true
+	r.dropped++
+}
+
+// Close implements Sink (no-op).
+func (r *Ring) Close() error { return nil }
+
+// Dropped returns how many events were overwritten.
+func (r *Ring) Dropped() uint64 { return r.dropped }
+
+// Events returns the retained events, oldest first.
+func (r *Ring) Events() []Event {
+	if !r.wrapped {
+		out := make([]Event, len(r.buf))
+		copy(out, r.buf)
+		return out
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// multi fans events out to several sinks.
+type multi []Sink
+
+// Multi combines sinks into one; Close closes each, returning the first
+// error.
+func Multi(sinks ...Sink) Sink {
+	ss := make(multi, 0, len(sinks))
+	for _, s := range sinks {
+		if s != nil {
+			ss = append(ss, s)
+		}
+	}
+	return ss
+}
+
+func (m multi) Write(ev Event) {
+	for _, s := range m {
+		s.Write(ev)
+	}
+}
+
+func (m multi) Close() error {
+	var first error
+	for _, s := range m {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

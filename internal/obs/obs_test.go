@@ -1,0 +1,297 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"itsim/internal/sim"
+)
+
+func TestTypeStringParseRoundTrip(t *testing.T) {
+	for typ := Type(0); typ < NumTypes; typ++ {
+		name := typ.String()
+		if name == "" || strings.HasPrefix(name, "Type(") {
+			t.Fatalf("type %d has no name", typ)
+		}
+		got, err := ParseType(strings.ToLower(name))
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", name, err)
+		}
+		if got != typ {
+			t.Fatalf("ParseType(%q) = %v, want %v", name, got, typ)
+		}
+	}
+	if _, err := ParseType("NotAnEvent"); err == nil {
+		t.Fatal("unknown type name accepted")
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var trc *Tracer
+	if trc.Wants(EvDispatch) {
+		t.Fatal("nil tracer wants events")
+	}
+	trc.Emit(Event{Type: EvDispatch}) // must not panic
+	if err := trc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if NewTracer(nil, Filter{}) != nil {
+		t.Fatal("NewTracer(nil) should yield a nil tracer")
+	}
+}
+
+func TestTracerTypeFilter(t *testing.T) {
+	ring := NewRing(16)
+	trc := NewTracer(ring, Filter{Types: map[Type]bool{EvPrefetchIssue: true}})
+
+	trc.Emit(Event{Type: EvRunBegin, Cause: "p/b"})
+	trc.Emit(Event{Type: EvDispatch, PID: 0})
+	trc.Emit(Event{Type: EvPrefetchIssue, PID: 0, VA: 0x1000})
+	trc.Emit(Event{Type: EvRunEnd, Time: 10})
+
+	got := ring.Events()
+	want := []Type{EvRunBegin, EvPrefetchIssue, EvRunEnd}
+	if len(got) != len(want) {
+		t.Fatalf("got %d events, want %d: %v", len(got), len(want), got)
+	}
+	for i, ev := range got {
+		if ev.Type != want[i] {
+			t.Fatalf("event %d is %v, want %v", i, ev.Type, want[i])
+		}
+	}
+	if !trc.Wants(EvPrefetchIssue) || trc.Wants(EvDispatch) {
+		t.Fatal("Wants disagrees with the filter")
+	}
+	// Run boundaries must pass even when not named in the filter.
+	if !trc.Wants(EvRunBegin) || !trc.Wants(EvRunEnd) {
+		t.Fatal("run boundaries filtered out")
+	}
+}
+
+func TestTracerPIDFilter(t *testing.T) {
+	ring := NewRing(16)
+	trc := NewTracer(ring, Filter{PIDs: map[int]bool{1: true}})
+
+	trc.Emit(Event{Type: EvDispatch, PID: 0})
+	trc.Emit(Event{Type: EvDispatch, PID: 1})
+	trc.Emit(Event{Type: EvGauge, PID: -1, Cause: "ready_queue_depth"})
+
+	got := ring.Events()
+	if len(got) != 2 {
+		t.Fatalf("got %d events, want 2 (pid 1 + machine-scope): %v", len(got), got)
+	}
+	if got[0].PID != 1 || got[1].PID != -1 {
+		t.Fatalf("wrong events survived: %v", got)
+	}
+}
+
+func TestParseFilter(t *testing.T) {
+	f, err := ParseFilter(" PrefetchIssue , prefetchhit, pid=0, pid=2 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Types[EvPrefetchIssue] || !f.Types[EvPrefetchHit] || len(f.Types) != 2 {
+		t.Fatalf("types = %v", f.Types)
+	}
+	if !f.PIDs[0] || !f.PIDs[2] || len(f.PIDs) != 2 {
+		t.Fatalf("pids = %v", f.PIDs)
+	}
+
+	if f, err := ParseFilter(""); err != nil || f.Types != nil || f.PIDs != nil {
+		t.Fatalf("empty filter: %v %v", f, err)
+	}
+	if _, err := ParseFilter("NotAnEvent"); err == nil {
+		t.Fatal("bad type accepted")
+	}
+	if _, err := ParseFilter("pid=x"); err == nil {
+		t.Fatal("bad pid accepted")
+	}
+}
+
+func TestRingWrap(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Write(Event{Time: sim.Time(i), Type: EvGauge})
+	}
+	got := r.Events()
+	if len(got) != 3 {
+		t.Fatalf("retained %d events, want 3", len(got))
+	}
+	for i, ev := range got {
+		if int(ev.Time) != i+2 {
+			t.Fatalf("event %d has time %v, want %d (oldest-first after wrap)", i, ev.Time, i+2)
+		}
+	}
+	if r.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", r.Dropped())
+	}
+}
+
+func TestMultiFansOut(t *testing.T) {
+	a, b := NewRing(4), NewRing(4)
+	m := Multi(a, nil, b)
+	m.Write(Event{Type: EvDispatch, PID: 7})
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events()) != 1 || len(b.Events()) != 1 {
+		t.Fatal("event not fanned out to every sink")
+	}
+}
+
+func TestHexVA(t *testing.T) {
+	cases := map[uint64]string{
+		0:                  "0x0",
+		0xf:                "0xf",
+		0xdeadbeef:         "0xdeadbeef",
+		0xffffffffffffffff: "0xffffffffffffffff",
+	}
+	for va, want := range cases {
+		if got := hexVA(va); got != want {
+			t.Fatalf("hexVA(%#x) = %q, want %q", va, got, want)
+		}
+	}
+}
+
+func TestJSONLOutput(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	s.Write(Event{Time: 1500, Type: EvPrefetchIssue, PID: 2, VA: 0x2000, Dur: 3000})
+	s.Write(Event{Time: 2000, Type: EvGauge, PID: -1, Cause: "llc_lines", Value: 42})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc := bufio.NewScanner(&buf)
+	var lines []map[string]any
+	for sc.Scan() {
+		var m map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &m); err != nil {
+			t.Fatalf("line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, m)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	if lines[0]["type"] != "PrefetchIssue" || lines[0]["va"] != "0x2000" || lines[0]["pid"] != float64(2) {
+		t.Fatalf("bad first line: %v", lines[0])
+	}
+	if _, ok := lines[1]["pid"]; ok {
+		t.Fatalf("machine-scope event should omit pid: %v", lines[1])
+	}
+	if lines[1]["cause"] != "llc_lines" || lines[1]["value"] != float64(42) {
+		t.Fatalf("bad gauge line: %v", lines[1])
+	}
+}
+
+// chromeDoc decodes a Chrome trace for assertions.
+type chromeDoc struct {
+	TraceEvents []struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		Ts   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  int            `json:"tid"`
+		Args map[string]any `json:"args"`
+	} `json:"traceEvents"`
+}
+
+func decodeChrome(t *testing.T, data []byte) chromeDoc {
+	t.Helper()
+	var doc chromeDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid Chrome JSON: %v\n%s", err, data)
+	}
+	return doc
+}
+
+func TestChromeEmptyTraceIsValidJSON(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf)
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	doc := decodeChrome(t, buf.Bytes())
+	if len(doc.TraceEvents) != 0 {
+		t.Fatalf("empty trace has %d events", len(doc.TraceEvents))
+	}
+}
+
+func TestChromeOutput(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf)
+	c.Write(Event{Time: 0, Type: EvRunBegin, PID: -1, Cause: "ITS/2_Data_Intensive"})
+	c.Write(Event{Time: 0, Type: EvDispatch, PID: 0, Cause: "procA", Value: 3})
+	c.Write(Event{Time: 5000, Type: EvMajorFaultBegin, PID: 0, VA: 0x3000})
+	c.Write(Event{Time: 8000, Type: EvMajorFaultEnd, PID: 0, VA: 0x3000, Dur: 3000, Cause: "sync"})
+	c.Write(Event{Time: 9000, Type: EvPreempt, PID: 0, Dur: 9000})
+	c.Write(Event{Time: 9000, Type: EvRunEnd, PID: -1})
+	// Second run in the same sink must become a separate trace process.
+	c.Write(Event{Time: 0, Type: EvRunBegin, PID: -1, Cause: "Sync/2_Data_Intensive"})
+	c.Write(Event{Time: 0, Type: EvDispatch, PID: 0, Cause: "procA", Value: 3})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := decodeChrome(t, buf.Bytes())
+	pids := map[int]bool{}
+	var sawSlice, sawFaultB, sawFaultE bool
+	for _, ev := range doc.TraceEvents {
+		pids[ev.PID] = true
+		switch {
+		case ev.Ph == "X" && ev.Name == "run":
+			sawSlice = true
+			// The span must start at Time-Dur: 9000 ns - 9000 ns = 0 µs.
+			if ev.Ts != 0 || ev.Dur != 9 {
+				t.Fatalf("run slice ts=%v dur=%v, want ts=0 dur=9", ev.Ts, ev.Dur)
+			}
+		case ev.Ph == "B" && ev.Name == "major-fault":
+			sawFaultB = true
+			if ev.Ts != 5 {
+				t.Fatalf("fault begin ts=%v, want 5", ev.Ts)
+			}
+		case ev.Ph == "E" && ev.Name == "major-fault":
+			sawFaultE = true
+			if ev.Args["mode"] != "sync" {
+				t.Fatalf("fault end args=%v", ev.Args)
+			}
+		}
+	}
+	if !sawSlice || !sawFaultB || !sawFaultE {
+		t.Fatalf("missing records: slice=%v faultB=%v faultE=%v", sawSlice, sawFaultB, sawFaultE)
+	}
+	if !pids[1] || !pids[2] {
+		t.Fatalf("two runs should map to trace pids 1 and 2, got %v", pids)
+	}
+}
+
+func TestOpenFileSinkRejectsUnknownFormat(t *testing.T) {
+	if _, err := OpenFileSink(filepath.Join(t.TempDir(), "x"), "nope"); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
+func TestTracerFromFlags(t *testing.T) {
+	trc, err := TracerFromFlags("", "chrome", "")
+	if trc != nil || err != nil {
+		t.Fatalf("empty path should disable tracing, got %v %v", trc, err)
+	}
+	if _, err := TracerFromFlags(filepath.Join(t.TempDir(), "x"), "chrome", "pid=x"); err == nil {
+		t.Fatal("bad filter accepted")
+	}
+	path := filepath.Join(t.TempDir(), "t.json")
+	trc, err = TracerFromFlags(path, "chrome", "Dispatch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	trc.Emit(Event{Type: EvRunBegin, Cause: "p/b"})
+	if err := trc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -121,6 +121,9 @@ type Decision struct {
 	// PrefetchWalkCost is CPU time consumed finding the candidates; for
 	// sync modes it is carved out of the busy-wait window.
 	PrefetchWalkCost sim.Time
+	// PrefetchScanned is how many PTEs the candidate walk examined
+	// (observability: EvPrefetchWalk's Value).
+	PrefetchScanned int
 	// PreExecute enables the fault-aware pre-execute engine for the
 	// remainder of the busy-wait window.
 	PreExecute bool
@@ -195,6 +198,7 @@ func (p *prefetchPolicy) Decide(ctx *Context) Decision {
 		Mode:             SyncWait,
 		Prefetch:         res.Pages,
 		PrefetchWalkCost: res.WalkCost,
+		PrefetchScanned:  res.Scanned,
 	}
 }
 
@@ -270,6 +274,7 @@ func (p *ITSPolicy) Decide(ctx *Context) Decision {
 		res := p.walker.Candidates(ctx.AS, ctx.VA)
 		d.Prefetch = res.Pages
 		d.PrefetchWalkCost = res.WalkCost
+		d.PrefetchScanned = res.Scanned
 	}
 	return d
 }

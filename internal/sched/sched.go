@@ -89,6 +89,8 @@ type RR struct {
 	// round-robin queue with priority-scaled slices (the NICE mechanism).
 	strict bool
 	stats  Stats
+	// observer, when set, is called on every state transition.
+	observer func(pid int, from, to State)
 }
 
 // New returns an empty scheduler.
@@ -98,6 +100,20 @@ func New() *RR {
 		running:  -1,
 		minSlice: MinSlice,
 		maxSlice: MaxSlice,
+	}
+}
+
+// SetObserver registers a callback invoked after every process state
+// transition (the event-tracing layer hooks wake-ups through it). A nil
+// observer disables notification.
+func (s *RR) SetObserver(fn func(pid int, from, to State)) { s.observer = fn }
+
+// transition applies a state change and notifies the observer.
+func (s *RR) transition(e *entry, to State) {
+	from := e.state
+	e.state = to
+	if s.observer != nil && from != to {
+		s.observer(e.pid, from, to)
 	}
 }
 
@@ -198,7 +214,7 @@ func (s *RR) PickNext() int {
 		if e.state != Ready {
 			continue // stale queue entry (blocked/finished after enqueue)
 		}
-		e.state = Running
+		s.transition(e, Running)
 		s.running = pid
 		return pid
 	}
@@ -225,7 +241,7 @@ func (s *RR) pickStrict() int {
 	}
 	s.queue = append(s.queue[:bestIdx], s.queue[bestIdx+1:]...)
 	e := s.entries[best]
-	e.state = Running
+	s.transition(e, Running)
 	s.running = best
 	return best
 }
@@ -283,7 +299,7 @@ func (s *RR) Expire(pid int) {
 	if e.state != Running {
 		panic(fmt.Sprintf("sched: Expire on %s pid %d", e.state, pid))
 	}
-	e.state = Ready
+	s.transition(e, Ready)
 	s.running = -1
 	s.queue = append(s.queue, pid)
 	s.stats.SliceExpiries++
@@ -296,7 +312,7 @@ func (s *RR) Block(pid int) {
 	if e.state != Running {
 		panic(fmt.Sprintf("sched: Block on %s pid %d", e.state, pid))
 	}
-	e.state = Blocked
+	s.transition(e, Blocked)
 	s.running = -1
 	s.stats.Blocks++
 	s.stats.ContextSwitches++
@@ -309,7 +325,7 @@ func (s *RR) Unblock(pid int) {
 	if e.state != Blocked {
 		panic(fmt.Sprintf("sched: Unblock on %s pid %d", e.state, pid))
 	}
-	e.state = Ready
+	s.transition(e, Ready)
 	s.queue = append(s.queue, pid)
 	s.stats.Wakeups++
 }
@@ -320,7 +336,7 @@ func (s *RR) Finish(pid int) {
 	if e.state != Running {
 		panic(fmt.Sprintf("sched: Finish on %s pid %d", e.state, pid))
 	}
-	e.state = Finished
+	s.transition(e, Finished)
 	s.running = -1
 }
 

@@ -183,6 +183,18 @@ func (d *Device) FreeChannelAt(slot uint64, t sim.Time) bool {
 	return d.chanBusy[d.channelOf(slot)] <= t
 }
 
+// BusyChannelsAt returns how many channels are still servicing requests at
+// time t (the gauge sampler's view of device load).
+func (d *Device) BusyChannelsAt(t sim.Time) int {
+	n := 0
+	for _, busy := range d.chanBusy {
+		if busy > t {
+			n++
+		}
+	}
+	return n
+}
+
 // SubmitPage is Submit for one 4 KiB page.
 func (d *Device) SubmitPage(now sim.Time, op Op, slot uint64) sim.Time {
 	return d.Submit(now, op, slot, 4096)
