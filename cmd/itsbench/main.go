@@ -48,6 +48,7 @@ func main() {
 	var (
 		exp         = flag.String("exp", "all", "experiment: obs|fig4a|fig4b|fig4c|fig5a|fig5b|setup|xover|spin|sens|all")
 		scale       = flag.Float64("scale", 0.25, "workload scale factor")
+		cores       = flag.Int("cores", 0, "simulated core count (0/1 = single-core; >1 = SMP with work stealing)")
 		format      = flag.String("format", "text", "output format: text|csv|chart|json")
 		traceOut    = flag.String("trace-out", "", "write the simulation event trace of every run to this file (empty = off)")
 		traceFormat = flag.String("trace-format", "chrome", "trace format: chrome|jsonl")
@@ -55,7 +56,7 @@ func main() {
 		gaugeEvery  = flag.Duration("gauge-interval", 0, "virtual-time gauge sampling interval, e.g. 100us (0 = off)")
 	)
 	flag.Parse()
-	if err := run(*exp, *scale, *format, *traceOut, *traceFormat, *traceFilter, *gaugeEvery); err != nil {
+	if err := run(*exp, *scale, *cores, *format, *traceOut, *traceFormat, *traceFilter, *gaugeEvery); err != nil {
 		fmt.Fprintln(os.Stderr, "itsbench:", err)
 		os.Exit(1)
 	}
@@ -88,7 +89,7 @@ type jsonDoc struct {
 	Sensitivity []core.SensitivityResult `json:"sensitivity,omitempty"`
 }
 
-func run(exp string, scale float64, format, traceOut, traceFormat, traceFilter string, gaugeEvery time.Duration) error {
+func run(exp string, scale float64, cores int, format, traceOut, traceFormat, traceFilter string, gaugeEvery time.Duration) error {
 	// Validate the output format and trace flags before any experiment
 	// runs — a grid at full scale is minutes of work to waste on a typo.
 	switch format {
@@ -102,6 +103,7 @@ func run(exp string, scale float64, format, traceOut, traceFormat, traceFilter s
 	}
 	opts := core.Options{
 		Scale:         scale,
+		Cores:         cores,
 		Tracer:        trc,
 		GaugeInterval: sim.Time(gaugeEvery.Nanoseconds()),
 	}

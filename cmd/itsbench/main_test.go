@@ -16,7 +16,7 @@ func TestRunAllExperiments(t *testing.T) {
 		t.Skip("harness run in -short mode")
 	}
 	for _, exp := range []string{"setup", "obs", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "xover", "spin"} {
-		if err := run(exp, 0.01, "text", "", "chrome", "", 0); err != nil {
+		if err := run(exp, 0.01, 0, "text", "", "chrome", "", 0); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -27,20 +27,29 @@ func TestRunFormats(t *testing.T) {
 		t.Skip("harness run in -short mode")
 	}
 	for _, format := range []string{"csv", "chart", "json"} {
-		if err := run("fig4a", 0.01, format, "", "chrome", "", 0); err != nil {
+		if err := run("fig4a", 0.01, 0, format, "", "chrome", "", 0); err != nil {
 			t.Fatalf("%s: %v", format, err)
 		}
 	}
 }
 
+func TestRunMultiCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run in -short mode")
+	}
+	if err := run("fig4a", 0.01, 2, "text", "", "chrome", "", 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestRunRejectsUnknown(t *testing.T) {
-	if err := run("nope", 0.01, "text", "", "chrome", "", 0); err == nil {
+	if err := run("nope", 0.01, 0, "text", "", "chrome", "", 0); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run("fig4a", 0.01, "nope", "", "chrome", "", 0); err == nil {
+	if err := run("fig4a", 0.01, 0, "nope", "", "chrome", "", 0); err == nil {
 		t.Fatal("unknown format accepted")
 	}
-	if err := run("fig4a", 0.01, "text", "x.json", "nope", "", 0); err == nil {
+	if err := run("fig4a", 0.01, 0, "text", "x.json", "nope", "", 0); err == nil {
 		t.Fatal("unknown trace format accepted")
 	}
 }
@@ -52,7 +61,7 @@ func TestRunWithTrace(t *testing.T) {
 		t.Skip("harness run in -short mode")
 	}
 	path := filepath.Join(t.TempDir(), "trace.json")
-	if err := run("fig4a", 0.01, "text", path, "chrome", "", 50*time.Microsecond); err != nil {
+	if err := run("fig4a", 0.01, 0, "text", path, "chrome", "", 50*time.Microsecond); err != nil {
 		t.Fatal(err)
 	}
 	data, err := os.ReadFile(path)

@@ -5,6 +5,7 @@
 //
 //	itssim -batch 2_Data_Intensive -policy ITS -scale 0.25 [-v]
 //	itssim -policy ITS -format json
+//	itssim -policy ITS -cores 4
 //	itssim -policy ITS -trace-out trace.json -trace-format chrome
 //
 // Batches: No_Data_Intensive, 1_Data_Intensive, 2_Data_Intensive,
@@ -47,6 +48,7 @@ type params struct {
 	batch, policy string
 	scale         float64
 	dramRatio     float64
+	cores         int
 	verbose       bool
 	format        string
 	traceOut      string
@@ -61,6 +63,7 @@ func main() {
 	flag.StringVar(&p.policy, "policy", "ITS", "I/O-mode policy")
 	flag.Float64Var(&p.scale, "scale", 0.25, "workload scale factor (1.0 = full size)")
 	flag.Float64Var(&p.dramRatio, "dram", 0, "override DRAM/footprint ratio (0 = default)")
+	flag.IntVar(&p.cores, "cores", 0, "simulated core count (0/1 = single-core; >1 = SMP with work stealing)")
 	flag.BoolVar(&p.verbose, "v", false, "per-process detail")
 	flag.StringVar(&p.format, "format", "text", "run summary format: text|json")
 	flag.StringVar(&p.traceOut, "trace-out", "", "write the simulation event trace to this file (empty = off)")
@@ -93,6 +96,7 @@ func run(p params) error {
 	}
 	opts := core.Options{
 		Scale:         p.scale,
+		Cores:         p.cores,
 		Tracer:        trc,
 		GaugeInterval: sim.Time(p.gaugeEvery.Nanoseconds()),
 	}
@@ -128,6 +132,16 @@ func run(p params) error {
 	}
 	if run.BlockedHist.Count() > 0 {
 		fmt.Printf("  blocked waits     %s\n", run.BlockedHist)
+	}
+	if len(run.Cores) > 0 {
+		w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "  core\tclock\tcpu\tidle\tswitch\tstolen\tdispatches\tsteals\tmigrated-away")
+		for _, c := range run.Cores {
+			fmt.Fprintf(w, "  %d\t%v\t%v\t%v\t%v\t%v\t%d\t%d\t%d\n",
+				c.ID, c.LocalClock, c.CPUTime, c.SchedulerIdle, c.ContextSwitchTime,
+				c.Stolen(), c.Dispatches, c.Steals, c.MigratedAway)
+		}
+		w.Flush()
 	}
 
 	if p.verbose {

@@ -48,6 +48,21 @@ func TestRunCLIJSON(t *testing.T) {
 	}
 }
 
+func TestRunCLIMultiCore(t *testing.T) {
+	if testing.Short() {
+		t.Skip("CLI run in -short mode")
+	}
+	if err := run(p(func(pp *params) {
+		pp.cores = 4
+		pp.verbose = true
+	})); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(p(func(pp *params) { pp.cores = -1 })); err == nil {
+		t.Fatal("negative core count accepted")
+	}
+}
+
 func TestRunCLITrace(t *testing.T) {
 	if testing.Short() {
 		t.Skip("CLI run in -short mode")

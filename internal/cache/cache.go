@@ -119,6 +119,11 @@ func (c *Cache) ResetStats() { c.stats = Stats{} }
 // LineOf returns the line index (address >> lineShift) for addr.
 func (c *Cache) LineOf(addr uint64) uint64 { return addr >> c.lineShift }
 
+// AddrOf returns the base address of a line index — the inverse of LineOf.
+// Inclusive-hierarchy back-invalidation uses it to turn an evicted LLC line
+// tag back into an address the L1s can invalidate.
+func (c *Cache) AddrOf(line uint64) uint64 { return line << c.lineShift }
+
 func (c *Cache) setOf(line uint64) int { return int(line & c.setMask) }
 
 // Access looks up addr, counting a hit or miss. On hit the line's recency is

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"itsim/internal/machine"
@@ -15,6 +16,7 @@ import (
 	"itsim/internal/obs"
 	"itsim/internal/policy"
 	"itsim/internal/sim"
+	"itsim/internal/smp"
 	"itsim/internal/workload"
 )
 
@@ -23,6 +25,11 @@ type Options struct {
 	// Scale multiplies workload footprints and trace lengths (1.0 = the
 	// full-size experiment; tests use much smaller values).
 	Scale float64
+	// Cores selects the simulated core count (the -cores flag). 0 defers
+	// to Machine (or the single-core default); values above 1 run on the
+	// multi-core SMP model with per-core schedulers and work stealing.
+	// Invalid counts surface as errors from the run functions.
+	Cores int
 	// Machine overrides the platform configuration; nil selects
 	// machine.DefaultConfig().
 	Machine *machine.Config
@@ -82,12 +89,16 @@ func DRAMRatioFor(dataIntensive int) float64 {
 }
 
 func (o Options) machineConfig(b workload.Batch) machine.Config {
-	if o.Machine != nil {
-		return *o.Machine
-	}
 	cfg := machine.DefaultConfig()
-	cfg.MinSlice, cfg.MaxSlice = SliceRange(o.scale())
-	cfg.DRAMRatio = DRAMRatioFor(b.DataIntensive)
+	if o.Machine != nil {
+		cfg = *o.Machine
+	} else {
+		cfg.MinSlice, cfg.MaxSlice = SliceRange(o.scale())
+		cfg.DRAMRatio = DRAMRatioFor(b.DataIntensive)
+	}
+	if o.Cores != 0 {
+		cfg.Cores = o.Cores
+	}
 	return cfg
 }
 
@@ -106,21 +117,67 @@ func specsFor(b workload.Batch, scale float64) []machine.ProcessSpec {
 	return specs
 }
 
+// policyFactory returns a constructor for kind that builds a fresh policy
+// instance per call — the SMP model runs one instance per core.
+func policyFactory(kind policy.Kind, its policy.ITSConfig) func() policy.Policy {
+	return func() policy.Policy {
+		if kind == policy.ITS {
+			return policy.NewITS(its)
+		}
+		return policy.New(kind)
+	}
+}
+
+// runMachine builds the right machine model for cfg (the legacy single-core
+// machine, or the SMP model when more than one core is configured), runs the
+// specs on it and returns the metrics.
+func runMachine(cfg machine.Config, newPolicy func() policy.Policy, name string, specs []machine.ProcessSpec, opts Options) (*metrics.Run, error) {
+	if newPolicy == nil {
+		return nil, errors.New("core: nil policy factory")
+	}
+	if cfg.Cores != 0 && cfg.Cores != 1 {
+		m, err := smp.New(cfg, newPolicy, name, specs)
+		if err != nil {
+			return nil, err
+		}
+		m.Instrument(opts.Tracer, opts.GaugeInterval)
+		return m.Run()
+	}
+	m := machine.New(cfg, newPolicy(), name, specs)
+	m.Instrument(opts.Tracer, opts.GaugeInterval)
+	return m.Run()
+}
+
 // RunBatch executes one batch under one policy kind. The ITS kind honours
 // opts.ITS.
 func RunBatch(b workload.Batch, kind policy.Kind, opts Options) (*metrics.Run, error) {
-	var pol policy.Policy
-	if kind == policy.ITS {
-		pol = policy.NewITS(opts.ITS)
-	} else {
-		pol = policy.New(kind)
+	return RunBatchWithPolicyFactory(b, policyFactory(kind, opts.ITS), opts)
+}
+
+// RunBatchWithPolicyFactory executes one batch under a custom policy; the
+// factory must return a fresh instance per call (policies are stateful, and
+// multi-core runs instantiate one per core).
+func RunBatchWithPolicyFactory(b workload.Batch, newPolicy func() policy.Policy, opts Options) (*metrics.Run, error) {
+	run, err := runMachine(opts.machineConfig(b), newPolicy, b.Name, specsFor(b, opts.scale()), opts)
+	if err != nil {
+		name := "?"
+		if p := newPolicy(); p != nil {
+			name = p.Name()
+		}
+		return run, fmt.Errorf("core: batch %s under %s: %w", b.Name, name, err)
 	}
-	return RunBatchWithPolicy(b, pol, opts)
+	return run, nil
 }
 
 // RunBatchWithPolicy executes one batch under a custom policy instance
-// (ablations pass tailored ITS configurations here).
+// (ablations pass tailored ITS configurations here). Because a single
+// stateful instance cannot be shared across cores, multi-core options
+// return an error — use RunBatchWithPolicyFactory there.
 func RunBatchWithPolicy(b workload.Batch, pol policy.Policy, opts Options) (*metrics.Run, error) {
+	if cfg := opts.machineConfig(b); cfg.Cores != 0 && cfg.Cores != 1 {
+		return nil, fmt.Errorf("core: batch %s under %s: single policy instance cannot run on %d cores; use RunBatchWithPolicyFactory",
+			b.Name, pol.Name(), cfg.Cores)
+	}
 	m := machine.New(opts.machineConfig(b), pol, b.Name, specsFor(b, opts.scale()))
 	m.Instrument(opts.Tracer, opts.GaugeInterval)
 	run, err := m.Run()
@@ -132,9 +189,15 @@ func RunBatchWithPolicy(b workload.Batch, pol policy.Policy, opts Options) (*met
 
 // RunSpecs executes an ad-hoc set of process specs (custom traces, custom
 // priorities) under the given policy. The batch-dependent defaults use
-// dataIntensive as the contention hint (see DRAMRatioFor).
+// dataIntensive as the contention hint (see DRAMRatioFor). Like
+// RunBatchWithPolicy, it takes one policy instance and therefore rejects
+// multi-core options.
 func RunSpecs(name string, specs []machine.ProcessSpec, pol policy.Policy, dataIntensive int, opts Options) (*metrics.Run, error) {
 	cfg := opts.machineConfig(workload.Batch{DataIntensive: dataIntensive})
+	if cfg.Cores != 0 && cfg.Cores != 1 {
+		return nil, fmt.Errorf("core: custom run %s under %s: single policy instance cannot run on %d cores; use RunBatchWithPolicyFactory",
+			name, pol.Name(), cfg.Cores)
+	}
 	m := machine.New(cfg, pol, name, specs)
 	m.Instrument(opts.Tracer, opts.GaugeInterval)
 	run, err := m.Run()
@@ -152,16 +215,25 @@ type GridResult struct {
 }
 
 // RunGrid executes every batch × every policy — the full Figure 4/5 grid.
+// The batch×policy cells run host-parallel (each is an independent
+// simulation); the assembled grid is identical to a serial sweep.
 func RunGrid(opts Options) ([]GridResult, error) {
-	var out []GridResult
-	for _, b := range workload.Batches() {
+	batches := workload.Batches()
+	kinds := policy.Kinds()
+	runs := make([]*metrics.Run, len(batches)*len(kinds))
+	err := opts.runJobs(len(runs), func(i int) error {
+		var err error
+		runs[i], err = RunBatch(batches[i/len(kinds)], kinds[i%len(kinds)], opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]GridResult, 0, len(batches))
+	for bi, b := range batches {
 		gr := GridResult{Batch: b, Runs: make(map[policy.Kind]*metrics.Run)}
-		for _, k := range policy.Kinds() {
-			run, err := RunBatch(b, k, opts)
-			if err != nil {
-				return nil, err
-			}
-			gr.Runs[k] = run
+		for ki, k := range kinds {
+			gr.Runs[k] = runs[bi*len(kinds)+ki]
 		}
 		out = append(out, gr)
 	}
@@ -298,10 +370,26 @@ func RunSpinSweep(opts Options, thresholds []sim.Time) ([]SpinPoint, error) {
 	if err != nil {
 		return nil, err
 	}
-	itsRun, err := RunBatch(b, policy.ITS, opts)
+	// Jobs 0..len(thresholds)-1 are the Spin_Block points, then Sync,
+	// Async, ITS; all are independent simulations and run host-parallel.
+	refs := []policy.Kind{policy.Sync, policy.Async, policy.ITS}
+	runs := make([]*metrics.Run, len(thresholds)+len(refs))
+	err = opts.runJobs(len(runs), func(i int) error {
+		var err error
+		if i < len(thresholds) {
+			th := thresholds[i]
+			runs[i], err = RunBatchWithPolicyFactory(b, func() policy.Policy {
+				return policy.NewSpinBlock(th)
+			}, opts)
+		} else {
+			runs[i], err = RunBatch(b, refs[i-len(thresholds)], opts)
+		}
+		return err
+	})
 	if err != nil {
 		return nil, err
 	}
+	itsRun := runs[len(runs)-1]
 	ref := itsRun.TotalIdle().Seconds()
 	mk := func(name string, th sim.Time, run *metrics.Run) SpinPoint {
 		pt := SpinPoint{Threshold: th, Name: name, Idle: run.TotalIdle(), Makespan: run.Makespan}
@@ -311,19 +399,11 @@ func RunSpinSweep(opts Options, thresholds []sim.Time) ([]SpinPoint, error) {
 		return pt
 	}
 	var out []SpinPoint
-	for _, th := range thresholds {
-		run, err := RunBatchWithPolicy(b, policy.NewSpinBlock(th), opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, mk(run.Policy, th, run))
+	for i, th := range thresholds {
+		out = append(out, mk(runs[i].Policy, th, runs[i]))
 	}
-	for _, k := range []policy.Kind{policy.Sync, policy.Async} {
-		run, err := RunBatch(b, k, opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, mk(k.String(), 0, run))
+	for i, k := range []policy.Kind{policy.Sync, policy.Async} {
+		out = append(out, mk(k.String(), 0, runs[len(thresholds)+i]))
 	}
 	out = append(out, mk("ITS", 0, itsRun))
 	return out, nil
@@ -351,22 +431,38 @@ func RunSensitivity(batchName string, draws int, opts Options) ([]SensitivityRes
 	if err != nil {
 		return nil, err
 	}
-	acc := make(map[policy.Kind][]float64)
-	for d := 0; d < draws; d++ {
+	// Precompute each draw's batch serially (the priority shuffle is
+	// seeded per draw), then run the draws × kinds cells host-parallel.
+	kinds := policy.Kinds()
+	drawBatches := make([]workload.Batch, draws)
+	for d := range drawBatches {
 		b := base
 		b.Priorities = workload.AssignPriorities(len(b.Members), uint64(0x5EED+d))
-		runs := make(map[policy.Kind]*metrics.Run)
-		for _, k := range policy.Kinds() {
-			run, err := RunBatch(b, k, opts)
-			if err != nil {
-				return nil, err
+		drawBatches[d] = b
+	}
+	runs := make([]*metrics.Run, draws*len(kinds))
+	err = opts.runJobs(len(runs), func(i int) error {
+		var err error
+		runs[i], err = RunBatch(drawBatches[i/len(kinds)], kinds[i%len(kinds)], opts)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	acc := make(map[policy.Kind][]float64)
+	for d := 0; d < draws; d++ {
+		cell := func(k policy.Kind) *metrics.Run {
+			for ki, kk := range kinds {
+				if kk == k {
+					return runs[d*len(kinds)+ki]
+				}
 			}
-			runs[k] = run
+			return nil
 		}
-		ref := runs[policy.ITS].TotalIdle().Seconds()
-		for _, k := range policy.Kinds() {
+		ref := cell(policy.ITS).TotalIdle().Seconds()
+		for _, k := range kinds {
 			if ref > 0 {
-				acc[k] = append(acc[k], runs[k].TotalIdle().Seconds()/ref)
+				acc[k] = append(acc[k], cell(k).TotalIdle().Seconds()/ref)
 			}
 		}
 	}

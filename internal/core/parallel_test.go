@@ -1,0 +1,89 @@
+package core
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"itsim/internal/policy"
+	"itsim/internal/workload"
+)
+
+func TestRunJobsOrderAndErrors(t *testing.T) {
+	out := make([]int, 16)
+	if err := (Options{}).runJobs(len(out), func(i int) error {
+		out[i] = i * i
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("job %d wrote %d", i, v)
+		}
+	}
+
+	boom := errors.New("boom")
+	err := (Options{}).runJobs(8, func(i int) error {
+		if i >= 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want job error, got %v", err)
+	}
+}
+
+// TestParallelGridMatchesSerial pins the harness guarantee: the
+// host-parallel grid is byte-identical to running each cell one at a time.
+func TestParallelGridMatchesSerial(t *testing.T) {
+	opts := tinyOpts()
+	grid, err := RunGrid(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grid) != len(workload.Batches()) {
+		t.Fatalf("%d grid rows", len(grid))
+	}
+	// Serial reference: the same cells via direct RunBatch calls.
+	for _, gr := range grid {
+		for _, k := range policy.Kinds() {
+			ref, err := RunBatch(gr.Batch, k, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, _ := json.Marshal(ref.Summary())
+			got, _ := json.Marshal(gr.Runs[k].Summary())
+			if string(got) != string(want) {
+				t.Errorf("%s/%s: parallel grid cell diverged from serial run", gr.Batch.Name, k)
+			}
+		}
+	}
+}
+
+// TestMultiCoreOptionsRoute checks the Options.Cores routing: multi-core
+// counts reach the SMP model (per-core metrics appear), invalid counts
+// surface as errors, and the single-instance entry points refuse them.
+func TestMultiCoreOptionsRoute(t *testing.T) {
+	opts := tinyOpts()
+	opts.Cores = 2
+	b := workload.Batches()[0]
+	run, err := RunBatch(b, policy.Sync, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Cores) != 2 {
+		t.Fatalf("want 2 core entries, got %d", len(run.Cores))
+	}
+
+	opts.Cores = -3
+	if _, err := RunBatch(b, policy.Sync, opts); err == nil {
+		t.Fatal("negative core count did not error")
+	}
+
+	opts.Cores = 2
+	if _, err := RunBatchWithPolicy(b, policy.New(policy.Sync), opts); err == nil {
+		t.Fatal("RunBatchWithPolicy accepted a multi-core option")
+	}
+}

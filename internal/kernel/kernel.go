@@ -73,10 +73,18 @@ type Kernel struct {
 	stats Stats
 	// trc is the event tracer (nil = tracing off).
 	trc *obs.Tracer
+	// core is the simulated core currently executing kernel code; emitted
+	// events are stamped with it. Single-core machines leave it 0; the
+	// SMP coordinator sets it before every core step.
+	core int
 }
 
 // SetTracer attaches the event tracer the swap path reports to (nil = off).
 func (k *Kernel) SetTracer(trc *obs.Tracer) { k.trc = trc }
+
+// SetCore records which simulated core is executing kernel code, for event
+// attribution on multi-core machines.
+func (k *Kernel) SetCore(core int) { k.core = core }
 
 // New builds a kernel over the given memory and device.
 func New(dram *mem.DRAM, dev *storage.Device) *Kernel {
@@ -240,7 +248,7 @@ func (k *Kernel) StartSwapIn(now sim.Time, pid int, va uint64, prefetched bool) 
 		if prefetched {
 			cause = "prefetch"
 		}
-		k.trc.Emit(obs.Event{Time: now, Type: obs.EvSwapIn, PID: pid, VA: va, Dur: done - now, Cause: cause})
+		k.trc.Emit(obs.Event{Time: now, Type: obs.EvSwapIn, PID: pid, Core: k.core, VA: va, Dur: done - now, Cause: cause})
 	}
 	out.Frame = id
 	out.Done = done
@@ -254,7 +262,7 @@ func (k *Kernel) evict(now sim.Time, victim mem.FrameID) {
 	owner := k.Process(vf.Owner)
 	slot := k.slots.Alloc()
 	if k.trc.Wants(obs.EvEvict) {
-		k.trc.Emit(obs.Event{Time: now, Type: obs.EvEvict, PID: vf.Owner, VA: vf.VA})
+		k.trc.Emit(obs.Event{Time: now, Type: obs.EvEvict, PID: vf.Owner, Core: k.core, VA: vf.VA})
 	}
 	if vf.Dirty {
 		// Asynchronous write-back: occupies a device channel and bus
@@ -262,7 +270,7 @@ func (k *Kernel) evict(now sim.Time, victim mem.FrameID) {
 		k.dev.SubmitPage(now, storage.Write, slot)
 		k.stats.SwapOuts++
 		if k.trc.Wants(obs.EvWriteBack) {
-			k.trc.Emit(obs.Event{Time: now, Type: obs.EvWriteBack, PID: vf.Owner, VA: vf.VA})
+			k.trc.Emit(obs.Event{Time: now, Type: obs.EvWriteBack, PID: vf.Owner, Core: k.core, VA: vf.VA})
 		}
 	}
 	owner.AS.MakeSwapped(vf.VA, slot)

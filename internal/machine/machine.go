@@ -47,6 +47,12 @@ const (
 // Config sizes the simulated platform. The zero value is not usable;
 // start from DefaultConfig.
 type Config struct {
+	// Cores is the number of simulated CPU cores. 1 (or 0, for configs
+	// built before the field existed) selects this package's single-core
+	// machine; larger values select the internal/smp model, which shares
+	// the LLC, kernel and storage path across cores. Validate rejects
+	// non-positive values on paths that take user input.
+	Cores int
 	// LLCSize/LLCWays/LineBytes shape the last-level cache. When the
 	// policy needs a pre-execute cache, half of LLCSize goes to it.
 	LLCSize   int
@@ -128,6 +134,7 @@ const InterruptCost = 300 * sim.Nanosecond
 // DefaultConfig returns the paper's §4.1 platform.
 func DefaultConfig() Config {
 	return Config{
+		Cores:         1,
 		LLCSize:       8 << 20,
 		LLCWays:       16,
 		LineBytes:     64,
@@ -143,6 +150,82 @@ func DefaultConfig() Config {
 		LaneBandwidth: bus.DefaultLaneBandwidth,
 		Lookahead:     DefaultLookahead,
 	}
+}
+
+// preExecWays returns how many LLC ways the pre-execute carve-out takes in
+// total, applying the PreExecCacheFraction defaulting and clamping rules.
+func (c Config) preExecWays() int {
+	frac := c.PreExecCacheFraction
+	if frac <= 0 {
+		frac = 0.5
+	}
+	if frac < 0.1 {
+		frac = 0.1
+	}
+	if frac > 0.9 {
+		frac = 0.9
+	}
+	pxWays := int(frac*float64(c.LLCWays) + 0.5)
+	if pxWays < 1 {
+		pxWays = 1
+	}
+	if pxWays >= c.LLCWays {
+		pxWays = c.LLCWays - 1
+	}
+	return pxWays
+}
+
+// PreExecPartition splits the LLC's ways between the shared LLC and `cores`
+// per-core pre-execute carve-outs. The total carve-out budget is the
+// single-core fraction of the ways; each core receives an equal share of at
+// least one way, and the shared LLC keeps whatever remains. An error means
+// the geometry cannot host one carve-out per core — the validation the
+// -cores flag path surfaces to the user.
+func (c Config) PreExecPartition(cores int) (pxWaysPerCore, llcWays int, err error) {
+	if cores < 1 {
+		return 0, 0, fmt.Errorf("machine: non-positive core count %d", cores)
+	}
+	total := c.preExecWays()
+	per := total / cores
+	if per < 1 {
+		return 0, 0, fmt.Errorf("machine: LLC (%d ways, %d reserved for pre-execute caches) is smaller than one pre-execute carve-out per core across %d cores",
+			c.LLCWays, total, cores)
+	}
+	llcWays = c.LLCWays - per*cores
+	if llcWays < 1 {
+		return 0, 0, fmt.Errorf("machine: %d cores × %d pre-execute ways leave no LLC ways of %d",
+			cores, per, c.LLCWays)
+	}
+	return per, llcWays, nil
+}
+
+// Validate checks the platform configuration, returning errors instead of
+// the panics (or silent nonsense) the low-level constructors produce: paths
+// that accept user input — the CLIs' -cores flag, core.Options — validate
+// before building a machine.
+func (c Config) Validate() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("machine: core count must be positive, got %d", c.Cores)
+	}
+	if c.LLCWays <= 0 || c.LLCWays&(c.LLCWays-1) != 0 {
+		return fmt.Errorf("machine: LLC ways %d is not a power of two", c.LLCWays)
+	}
+	if c.L1Ways <= 0 || c.L1Ways&(c.L1Ways-1) != 0 {
+		return fmt.Errorf("machine: L1 ways %d is not a power of two", c.L1Ways)
+	}
+	if err := (cache.Config{SizeBytes: c.LLCSize, LineBytes: c.LineBytes, Ways: c.LLCWays}).Validate(); err != nil {
+		return fmt.Errorf("machine: LLC geometry: %w", err)
+	}
+	if err := (cache.Config{SizeBytes: c.L1Size, LineBytes: c.LineBytes, Ways: c.L1Ways}).Validate(); err != nil {
+		return fmt.Errorf("machine: L1 geometry: %w", err)
+	}
+	// Every policy must be runnable on the configured geometry, so the
+	// pre-execute carve-out (ITS/Sync_Runahead) must fit even if the run
+	// at hand does not use it.
+	if _, _, err := c.PreExecPartition(c.Cores); err != nil {
+		return err
+	}
+	return nil
 }
 
 // ProcessSpec declares one process of a run.
@@ -249,29 +332,16 @@ func New(cfg Config, pol policy.Policy, batchName string, specs []ProcessSpec) *
 	llcWays := cfg.LLCWays
 	var px *preexec.Engine
 	if pol.Kind().NeedsPreExecCache() {
-		frac := cfg.PreExecCacheFraction
-		if frac <= 0 {
-			frac = 0.5
-		}
-		if frac < 0.1 {
-			frac = 0.1
-		}
-		if frac > 0.9 {
-			frac = 0.9
-		}
 		// Partition by ways (as real cache partitioning does): the set
 		// count stays constant and power-of-two for both halves.
-		pxWays := int(frac*float64(cfg.LLCWays) + 0.5)
-		if pxWays < 1 {
-			pxWays = 1
-		}
-		if pxWays >= cfg.LLCWays {
-			pxWays = cfg.LLCWays - 1
+		pxWays, shareWays, err := cfg.PreExecPartition(1)
+		if err != nil {
+			panic(err) // unreachable: clamping keeps 1 ≤ pxWays < LLCWays
 		}
 		sets := cfg.LLCSize / (cfg.LineBytes * cfg.LLCWays)
 		pxSize := pxWays * sets * cfg.LineBytes
 		llcSize = cfg.LLCSize - pxSize
-		llcWays = cfg.LLCWays - pxWays
+		llcWays = shareWays
 		px = preexec.New(cpu.NewPreExecCache(cache.Config{
 			SizeBytes: pxSize,
 			LineBytes: cfg.LineBytes,
@@ -714,8 +784,17 @@ func (m *Machine) cacheAccess(p *proc, addr uint64) {
 	stall := m.cfg.L1Hit + m.cfg.LLCHit + mem.AccessLatency
 	m.advance(p, stall)
 	p.met.MemStall += m.cfg.LLCHit + mem.AccessLatency
-	m.llc.Fill(key)
+	m.llcFill(key)
 	m.l1.Fill(key)
+}
+
+// llcFill installs a line in the LLC, back-invalidating the displaced
+// victim from the L1 (inclusive hierarchy: a line evicted from the LLC
+// cannot stay live in an inner cache).
+func (m *Machine) llcFill(key uint64) {
+	if victim, ok := m.llc.Fill(key); ok {
+		m.l1.Invalidate(m.llc.AddrOf(victim))
+	}
 }
 
 // swapKind distinguishes why a page is being swapped in.
@@ -1006,7 +1085,7 @@ func (m *Machine) preExecute(p *proc, faulting trace.Record, window sim.Time) {
 			return m.llc.Contains(tagged(p.pid, addr))
 		},
 		LLCFill: func(addr uint64) {
-			m.llc.Fill(tagged(p.pid, addr))
+			m.llcFill(tagged(p.pid, addr))
 			// The fill reads DRAM: reference the backing frame so
 			// CLOCK sees the page as live (pre-execution protects
 			// the pages it warms).

@@ -92,12 +92,59 @@ type Process struct {
 // un-stolen storage busy-wait).
 func (p *Process) IdleTime() sim.Time { return p.MemStall + p.StorageWait }
 
+// Core accumulates per-core counters of a multi-core run. On a single-core
+// machine the slice is absent (legacy path) or holds one entry whose fields
+// mirror the Run-level aggregates.
+type Core struct {
+	// ID is the simulated core number.
+	ID int `json:"id"`
+
+	// LocalClock is the core's virtual clock when it retired its last
+	// activity; the run's Makespan is the maximum over cores.
+	LocalClock sim.Time `json:"local_clock_ns"`
+
+	// CPUTime is time the core spent executing dispatched processes
+	// (compute, stalls, fault handling, synchronous waits).
+	CPUTime sim.Time `json:"cpu_time_ns"`
+	// SchedulerIdle is time the core had nothing runnable (including
+	// parked spans ended by stealing work from another core).
+	SchedulerIdle sim.Time `json:"scheduler_idle_ns"`
+	// ContextSwitchTime is switch time charged on this core, including
+	// migration switches paid to steal a process. Unlike the Run-level
+	// field, it carries the full clock cost of each switch (the 7 µs
+	// save/restore plus the pollution tail when modelled as a constant),
+	// so that per core CPUTime + SchedulerIdle + ContextSwitchTime ==
+	// LocalClock exactly.
+	ContextSwitchTime sim.Time `json:"context_switch_time_ns"`
+
+	// StolenPrefetch/StolenPreexec is busy-wait time this core's ITS
+	// machinery converted into useful work (per-core stolen time).
+	StolenPrefetch sim.Time `json:"stolen_prefetch_ns"`
+	StolenPreexec  sim.Time `json:"stolen_preexec_ns"`
+
+	// Dispatches counts processes put on this core's CPU.
+	Dispatches uint64 `json:"dispatches"`
+	// Steals counts ready processes this core pulled from another core's
+	// runqueue; MigratedAway counts processes other cores pulled from
+	// this one.
+	Steals       uint64 `json:"steals"`
+	MigratedAway uint64 `json:"migrated_away"`
+}
+
+// Stolen returns the core's total stolen time.
+func (c *Core) Stolen() sim.Time { return c.StolenPrefetch + c.StolenPreexec }
+
 // Run aggregates one simulation run (one batch under one policy).
 type Run struct {
 	Policy string
 	Batch  string
 
 	Procs []*Process
+
+	// Cores holds per-core counters on a multi-core machine; nil on the
+	// legacy single-core path. Run-level time fields (SchedulerIdle,
+	// ContextSwitchTime) aggregate over cores as CPU-seconds.
+	Cores []*Core
 
 	// Makespan is the finish time of the last process.
 	Makespan sim.Time
@@ -130,6 +177,13 @@ func (r *Run) AddProcess(pid int, name string, priority int) *Process {
 	p := &Process{PID: pid, Name: name, Priority: priority}
 	r.Procs = append(r.Procs, p)
 	return p
+}
+
+// AddCore registers a per-core record and returns it.
+func (r *Run) AddCore(id int) *Core {
+	c := &Core{ID: id}
+	r.Cores = append(r.Cores, c)
+	return c
 }
 
 // TotalIdle is the paper's Fig 4a quantity ("Total CPU Waiting Time"): the

@@ -72,6 +72,10 @@ type Summary struct {
 	SyncWait HistogramSnapshot `json:"sync_wait"`
 	Blocked  HistogramSnapshot `json:"blocked"`
 
+	// Cores carries per-core counters on multi-core runs (absent on the
+	// legacy single-core machine).
+	Cores []*Core `json:"cores,omitempty"`
+
 	Procs []*Process `json:"procs"`
 }
 
@@ -96,6 +100,7 @@ func (r *Run) Summary() Summary {
 		BottomHalfAvgFinishNs: int64(r.BottomHalfAvgFinish()),
 		SyncWait:              r.SyncWaitHist.Snapshot(),
 		Blocked:               r.BlockedHist.Snapshot(),
+		Cores:                 r.Cores,
 		Procs:                 r.Procs,
 	}
 }

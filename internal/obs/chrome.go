@@ -3,12 +3,16 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
 // Chrome trace-event track (tid) layout. Each simulated process gets its own
 // track (tid = PID + 1); kernel activity gets dedicated kernel-thread
-// tracks, mirroring how the paper's ITS work runs in kernel threads.
+// tracks, mirroring how the paper's ITS work runs in kernel threads. On a
+// multi-core machine every core gets its own block of kernel tracks
+// (tid = base + coreTidStride·core, named "cpuN:…"), so per-core scheduler,
+// swap and stolen-time activity lays out side by side in Perfetto.
 const (
 	// tidSched is the scheduler track: context switches and idle spans.
 	tidSched = 900
@@ -18,6 +22,8 @@ const (
 	tidPrefetch = 902
 	// tidPreexec is the pre-execution (runahead) track.
 	tidPreexec = 903
+	// coreTidStride separates consecutive cores' kernel-track blocks.
+	coreTidStride = 16
 )
 
 // Chrome serializes events into Chrome trace-event JSON
@@ -98,6 +104,18 @@ func (c *Chrome) thread(tid int, name string) int {
 	return tid
 }
 
+// ktrack resolves a kernel-role track for the event's core. Core 0 keeps the
+// legacy "kernel:<role>" names; further cores get their own "cpuN:<role>"
+// track block offset by coreTidStride.
+func (c *Chrome) ktrack(ev Event, base int, role string) int {
+	tid := base + coreTidStride*ev.Core
+	name := "kernel:" + role
+	if ev.Core > 0 {
+		name = fmt.Sprintf("cpu%d:%s", ev.Core, role)
+	}
+	return c.thread(tid, name)
+}
+
 // slice emits a complete ("X") span ending at ev.Time with length ev.Dur.
 func (c *Chrome) slice(ev Event, tid int, name string, args map[string]any) {
 	d := us(int64(ev.Dur))
@@ -120,22 +138,22 @@ func (c *Chrome) Write(ev Event) {
 		c.named[-1] = true // mark the run open even if nothing else emits
 		c.meta("process_name", 0, ev.Cause)
 	case EvRunEnd:
-		c.instant(ev, c.thread(tidSched, "kernel:sched"), "run-end", nil)
+		c.instant(ev, c.ktrack(ev, tidSched, "sched"), "run-end", nil)
 	case EvDispatch:
 		tid := c.thread(ev.PID+1, "proc:"+ev.Cause)
-		c.instant(ev, tid, "dispatch", map[string]any{"prio": ev.Value})
+		c.instant(ev, tid, "dispatch", map[string]any{"prio": ev.Value, "core": ev.Core})
 	case EvPreempt, EvBlock, EvProcFinish:
-		c.slice(ev, c.thread(ev.PID+1, "proc"), "run", map[string]any{"end": ev.Type.String()})
+		c.slice(ev, c.thread(ev.PID+1, "proc"), "run", map[string]any{"end": ev.Type.String(), "core": ev.Core})
 	case EvUnblock:
 		c.instant(ev, c.thread(ev.PID+1, "proc"), "wake", nil)
 	case EvSliceExpiry:
 		c.instant(ev, c.thread(ev.PID+1, "proc"), "slice-expiry", nil)
 	case EvContextSwitch:
-		c.slice(ev, c.thread(tidSched, "kernel:sched"), "switch", map[string]any{"pid": ev.PID})
+		c.slice(ev, c.ktrack(ev, tidSched, "sched"), "switch", map[string]any{"pid": ev.PID})
 	case EvSchedIdleBegin:
-		c.put(chromeEvent{Name: "idle", Ph: "B", Ts: us(int64(ev.Time)), PID: c.run, TID: c.thread(tidSched, "kernel:sched")})
+		c.put(chromeEvent{Name: "idle", Ph: "B", Ts: us(int64(ev.Time)), PID: c.run, TID: c.ktrack(ev, tidSched, "sched")})
 	case EvSchedIdleEnd:
-		c.put(chromeEvent{Name: "idle", Ph: "E", Ts: us(int64(ev.Time)), PID: c.run, TID: c.thread(tidSched, "kernel:sched")})
+		c.put(chromeEvent{Name: "idle", Ph: "E", Ts: us(int64(ev.Time)), PID: c.run, TID: c.ktrack(ev, tidSched, "sched")})
 	case EvMajorFaultBegin:
 		c.put(chromeEvent{Name: "major-fault", Ph: "B", Ts: us(int64(ev.Time)), PID: c.run,
 			TID: c.thread(ev.PID+1, "proc"), Args: map[string]any{"va": hexVA(ev.VA)}})
@@ -143,29 +161,29 @@ func (c *Chrome) Write(ev Event) {
 		c.put(chromeEvent{Name: "major-fault", Ph: "E", Ts: us(int64(ev.Time)), PID: c.run,
 			TID: c.thread(ev.PID+1, "proc"), Args: map[string]any{"va": hexVA(ev.VA), "mode": ev.Cause}})
 	case EvPrefetchIssue:
-		c.instant(ev, c.thread(tidPrefetch, "kernel:its-prefetch"), "prefetch-issue",
+		c.instant(ev, c.ktrack(ev, tidPrefetch, "its-prefetch"), "prefetch-issue",
 			map[string]any{"pid": ev.PID, "va": hexVA(ev.VA), "lat_ns": int64(ev.Dur)})
 	case EvPrefetchDrop:
-		c.instant(ev, c.thread(tidPrefetch, "kernel:its-prefetch"), "prefetch-drop",
+		c.instant(ev, c.ktrack(ev, tidPrefetch, "its-prefetch"), "prefetch-drop",
 			map[string]any{"pid": ev.PID, "va": hexVA(ev.VA)})
 	case EvPrefetchHit:
-		c.instant(ev, c.thread(tidPrefetch, "kernel:its-prefetch"), "prefetch-hit",
+		c.instant(ev, c.ktrack(ev, tidPrefetch, "its-prefetch"), "prefetch-hit",
 			map[string]any{"pid": ev.PID, "va": hexVA(ev.VA)})
 	case EvPrefetchWalk:
-		c.slice(ev, c.thread(tidPrefetch, "kernel:its-prefetch"), "pt-walk",
+		c.slice(ev, c.ktrack(ev, tidPrefetch, "its-prefetch"), "pt-walk",
 			map[string]any{"pid": ev.PID, "scanned": ev.Value})
 	case EvPreexecWindow:
-		c.slice(ev, c.thread(tidPreexec, "kernel:preexec"), "preexec",
+		c.slice(ev, c.ktrack(ev, tidPreexec, "preexec"), "preexec",
 			map[string]any{"pid": ev.PID, "instrs": ev.Value})
 	case EvRecovery:
-		c.slice(ev, c.thread(tidPreexec, "kernel:preexec"), "recovery", map[string]any{"pid": ev.PID})
+		c.slice(ev, c.ktrack(ev, tidPreexec, "preexec"), "recovery", map[string]any{"pid": ev.PID})
 	case EvSwapIn:
-		c.instant(ev, c.thread(tidSwap, "kernel:swap"), "swap-in",
+		c.instant(ev, c.ktrack(ev, tidSwap, "swap"), "swap-in",
 			map[string]any{"pid": ev.PID, "va": hexVA(ev.VA), "lat_ns": int64(ev.Dur), "kind": ev.Cause})
 	case EvEvict:
-		c.instant(ev, c.thread(tidSwap, "kernel:swap"), "evict", map[string]any{"pid": ev.PID, "va": hexVA(ev.VA)})
+		c.instant(ev, c.ktrack(ev, tidSwap, "swap"), "evict", map[string]any{"pid": ev.PID, "va": hexVA(ev.VA)})
 	case EvWriteBack:
-		c.instant(ev, c.thread(tidSwap, "kernel:swap"), "writeback", map[string]any{"pid": ev.PID, "va": hexVA(ev.VA)})
+		c.instant(ev, c.ktrack(ev, tidSwap, "swap"), "writeback", map[string]any{"pid": ev.PID, "va": hexVA(ev.VA)})
 	case EvGauge:
 		c.put(chromeEvent{Name: ev.Cause, Ph: "C", Ts: us(int64(ev.Time)), PID: c.run, TID: 0,
 			Args: map[string]any{"value": ev.Value}})

@@ -12,6 +12,7 @@ type jsonlEvent struct {
 	T     int64  `json:"t"`
 	Type  string `json:"type"`
 	PID   *int   `json:"pid,omitempty"`
+	Core  int    `json:"core,omitempty"`
 	VA    string `json:"va,omitempty"`
 	Dur   int64  `json:"dur,omitempty"`
 	Value int64  `json:"value,omitempty"`
@@ -40,6 +41,7 @@ func (s *JSONL) Write(ev Event) {
 	je := jsonlEvent{
 		T:     int64(ev.Time),
 		Type:  ev.Type.String(),
+		Core:  ev.Core,
 		Dur:   int64(ev.Dur),
 		Value: ev.Value,
 		Cause: ev.Cause,

@@ -169,6 +169,10 @@ type Event struct {
 	VA uint64
 	// PID is the simulated process id, or -1 for machine-scope events.
 	PID int
+	// Core is the simulated CPU core the event happened on. Single-core
+	// machines emit 0; the SMP model stamps the executing core so sinks
+	// can lay events out on per-core tracks.
+	Core int
 	// Type discriminates the event.
 	Type Type
 	// Cause is a short type-specific label (policy mode, process name,

@@ -80,6 +80,11 @@ type RR struct {
 	running int // pid currently on CPU, or -1
 	// priority range for slice mapping, fixed once processes are added.
 	minPrio, maxPrio int
+	// pinnedRange fixes the slice-mapping priority range independently of
+	// the registered processes (SMP: every per-core runqueue maps against
+	// the machine-global range so migration never changes a slice).
+	pinnedRange  bool
+	pinLo, pinHi int
 	// slice range; defaults to the paper's 5 ms…800 ms. Scaled-down
 	// traces scale these down with them (see machine.Config).
 	minSlice, maxSlice sim.Time
@@ -157,17 +162,42 @@ func (s *RR) Add(pid, priority int) {
 }
 
 // recomputeSlices maps each priority linearly onto [MinSlice, MaxSlice]
-// across the registered priority range (the NICE mechanism's effect).
+// across the priority range — the registered range by default, or the pinned
+// range when SetPriorityRange fixed one (the NICE mechanism's effect).
 func (s *RR) recomputeSlices() {
-	span := s.maxPrio - s.minPrio
+	lo, hi := s.minPrio, s.maxPrio
+	if s.pinnedRange {
+		lo, hi = s.pinLo, s.pinHi
+	}
+	span := hi - lo
 	for _, e := range s.entries {
 		if span == 0 {
 			e.slice = s.maxSlice
 			continue
 		}
-		frac := float64(e.priority-s.minPrio) / float64(span)
+		frac := float64(e.priority-lo) / float64(span)
+		if frac < 0 {
+			frac = 0
+		}
+		if frac > 1 {
+			frac = 1
+		}
 		e.slice = s.minSlice + sim.Time(frac*float64(s.maxSlice-s.minSlice))
 	}
+}
+
+// SetPriorityRange pins the slice-mapping priority range to [lo, hi] instead
+// of the observed range of registered processes. Per-core SMP runqueues pin
+// the machine-global range so every core maps priorities to slices
+// identically and a migrating process keeps its slice. Panics on an inverted
+// range.
+func (s *RR) SetPriorityRange(lo, hi int) {
+	if hi < lo {
+		panic(fmt.Sprintf("sched: inverted priority range [%d, %d]", lo, hi))
+	}
+	s.pinnedRange = true
+	s.pinLo, s.pinHi = lo, hi
+	s.recomputeSlices()
 }
 
 // Priority returns pid's priority.
@@ -328,6 +358,25 @@ func (s *RR) Unblock(pid int) {
 	s.transition(e, Ready)
 	s.queue = append(s.queue, pid)
 	s.stats.Wakeups++
+}
+
+// Remove deregisters a Ready process (work-stealing migration: the thief
+// core removes the victim from the loaded core's runqueue before re-adding
+// it to its own). Only Ready processes migrate — a Blocked process's wake-up
+// event lives on its owning core's clock, and a Running or Finished one has
+// nothing to steal. Panics on any other state.
+func (s *RR) Remove(pid int) {
+	e := s.mustGet(pid)
+	if e.state != Ready {
+		panic(fmt.Sprintf("sched: Remove on %s pid %d", e.state, pid))
+	}
+	delete(s.entries, pid)
+	for i, q := range s.queue {
+		if q == pid {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			break
+		}
+	}
 }
 
 // Finish retires the running process permanently.

@@ -1,0 +1,545 @@
+package smp
+
+import (
+	"itsim/internal/kernel"
+	"itsim/internal/machine"
+	"itsim/internal/mem"
+	"itsim/internal/obs"
+	"itsim/internal/pagetable"
+	"itsim/internal/policy"
+	"itsim/internal/preexec"
+	"itsim/internal/sim"
+	"itsim/internal/trace"
+)
+
+// This file is the per-record executor, a faithful port of the single-core
+// machine's runProcess/access/majorFault path onto one core of the SMP
+// model. The differences are confined to: per-core engine/L1/TLB/policy/
+// pre-execute state, the shared LLC back-invalidating every core's L1, and
+// the horizon pause in runCur that hands control back to the coordinator
+// when another core is due.
+
+// tagged folds the pid into the address's upper bits so per-process virtual
+// addresses share the physically-indexed caches without aliasing.
+func tagged(pid int, addr uint64) uint64 {
+	return addr&(1<<pagetable.VABits-1) | uint64(pid+1)<<pagetable.VABits
+}
+
+// dispatch puts pid on this core's CPU (the machine's dispatch preamble).
+func (c *coreCPU) dispatch(pid int) {
+	m := c.m
+	p := m.procs[pid]
+	if p.wasBlocked {
+		wait := c.eng.Now() - p.blockedAt
+		p.met.BlockedWait += wait
+		m.run.BlockedHist.Observe(wait)
+		p.wasBlocked = false
+	}
+	p.sliceLeft = c.sch.SliceFor(pid)
+	c.dispatchedAt = c.eng.Now()
+	c.met.Dispatches++
+	if m.want[obs.EvDispatch] {
+		c.emit(obs.Event{Time: c.dispatchedAt, Type: obs.EvDispatch, PID: pid,
+			Cause: p.spec.Name, Value: int64(p.spec.Priority)})
+	}
+	c.cur = p
+}
+
+// runCur executes the dispatched process until it blocks, exhausts its
+// slice, finishes — or crosses the coordinator's horizon, in which case it
+// stays dispatched and resumes on the core's next step.
+func (c *coreCPU) runCur(horizon sim.Time) error {
+	m := c.m
+	p := c.cur
+	for {
+		rec, ok := c.peek(p, 0)
+		if !ok {
+			p.met.FinishTime = c.eng.Now()
+			p.met.Finished = true
+			c.sch.Finish(p.pid)
+			if m.want[obs.EvProcFinish] {
+				c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvProcFinish, PID: p.pid,
+					Dur: c.eng.Now() - c.dispatchedAt})
+			}
+			if c.eng.Now() > m.run.Makespan {
+				m.run.Makespan = c.eng.Now()
+			}
+			c.cur = nil
+			if c.sch.Alive() > 0 {
+				c.chargeSwitch(p)
+			}
+			return nil
+		}
+		// Compute gap (once per record, even across fault retries).
+		if rec.Gap > 0 && !p.gapPaid {
+			p.instCarry += uint64(rec.Gap)
+			d := sim.Time(p.instCarry / uint64(m.cfg.InstPerNs))
+			p.instCarry %= uint64(m.cfg.InstPerNs)
+			if d > 0 {
+				c.advance(p, d)
+			}
+			p.met.Instructions += uint64(rec.Gap)
+		}
+		p.gapPaid = true
+		// The access itself (may busy-wait or block).
+		if c.access(p, rec) {
+			c.cur = nil
+			return nil
+		}
+		p.met.Instructions++
+		c.pop(p)
+		// Slice accounting: RR rotates only when someone else is ready.
+		if p.sliceLeft <= 0 {
+			if m.cfg.MaxSimTime > 0 && c.eng.Now() > m.cfg.MaxSimTime {
+				c.sch.Expire(p.pid)
+				c.cur = nil
+				return nil
+			}
+			if m.want[obs.EvSliceExpiry] {
+				c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvSliceExpiry, PID: p.pid})
+			}
+			if c.sch.Runnable() > 0 {
+				c.sch.Expire(p.pid)
+				if m.want[obs.EvPreempt] {
+					c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvPreempt, PID: p.pid,
+						Dur: c.eng.Now() - c.dispatchedAt})
+				}
+				c.cur = nil
+				c.chargeSwitch(p)
+				return nil
+			}
+			p.sliceLeft = c.sch.SliceFor(p.pid)
+		}
+		// Horizon pause — checked after at least one record so a tied
+		// horizon cannot starve the coordinator of progress.
+		if c.eng.Now() >= horizon {
+			return nil
+		}
+	}
+}
+
+// chargeSwitch charges the context switch paid whenever the CPU leaves a
+// process. The per-core metric takes the full clock cost (including the
+// pollution tail) so per-core time conservation closes exactly.
+func (c *coreCPU) chargeSwitch(p *proc) {
+	m := c.m
+	m.run.ContextSwitchTime += kernel.ContextSwitchCost
+	p.met.ContextSwitches++
+	cost := kernel.ContextSwitchCost + kernel.SwitchPollutionCost
+	if c.tlb != nil {
+		c.tlb.Flush()
+		cost = kernel.ContextSwitchCost
+	}
+	c.met.ContextSwitchTime += cost
+	c.advance(nil, cost)
+	if c.tlb == nil {
+		p.met.MemStall += kernel.SwitchPollutionCost
+	}
+	if m.want[obs.EvContextSwitch] {
+		c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvContextSwitch, PID: p.pid, Dur: cost})
+	}
+}
+
+// peek returns the i-th unexecuted record (0 = next), refilling the
+// lookahead buffer from the generator.
+func (c *coreCPU) peek(p *proc, i int) (trace.Record, bool) {
+	if i >= c.m.cfg.Lookahead {
+		return trace.Record{}, false
+	}
+	for !p.drained && len(p.look)-p.head <= i {
+		var r trace.Record
+		if !p.spec.Gen.Next(&r) {
+			p.drained = true
+			break
+		}
+		p.look = append(p.look, r)
+	}
+	if p.head+i < len(p.look) {
+		return p.look[p.head+i], true
+	}
+	return trace.Record{}, false
+}
+
+// pop consumes the head record, compacting the buffer periodically.
+func (c *coreCPU) pop(p *proc) {
+	p.gapPaid = false
+	p.head++
+	if p.head >= 4096 && p.head*2 >= len(p.look) {
+		p.look = append(p.look[:0], p.look[p.head:]...)
+		p.head = 0
+	}
+}
+
+// advance moves this core's clock forward by d (firing due local events)
+// and charges p's slice and CPU occupancy, mirrored into the core counter.
+func (c *coreCPU) advance(p *proc, d sim.Time) {
+	if d <= 0 {
+		return
+	}
+	c.eng.AdvanceTo(c.eng.Now() + d)
+	if p != nil {
+		p.sliceLeft -= d
+		p.met.CPUTime += d
+		c.met.CPUTime += d
+	}
+}
+
+// access performs one memory access for p. It returns true when the process
+// blocked (asynchronous fault); the faulting record stays at the head for
+// retry on wake-up.
+func (c *coreCPU) access(p *proc, rec trace.Record) (blockedOut bool) {
+	m := c.m
+	write := rec.Kind == trace.Store
+	for {
+		tr, _, prefHit := m.krn.Translate(p.pid, rec.Addr, write)
+		if tr == kernel.Present {
+			if prefHit {
+				p.met.MinorFaults++
+				p.met.PrefetchUseful++
+				if m.want[obs.EvPrefetchHit] {
+					c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvPrefetchHit,
+						PID: p.pid, VA: rec.Addr})
+				}
+				c.advance(p, kernel.MinorFaultCost)
+				m.krn.ChargeHandler(kernel.MinorFaultCost)
+				m.run.FaultHandlerTime += kernel.MinorFaultCost
+			}
+			c.cacheAccess(p, rec.Addr)
+			return false
+		}
+		if c.majorFault(p, rec) {
+			return true
+		}
+		// Synchronous completion: retry the translation.
+	}
+}
+
+// cacheAccess charges the (TLB →) L1 → shared-LLC → DRAM path.
+func (c *coreCPU) cacheAccess(p *proc, addr uint64) {
+	m := c.m
+	key := tagged(p.pid, addr)
+	if c.tlb != nil && !c.tlb.Lookup(key>>pagetable.PageShift) {
+		c.advance(p, m.cfg.TLBMissCost)
+		p.met.MemStall += m.cfg.TLBMissCost
+	}
+	if c.l1.Access(key) {
+		c.advance(p, m.cfg.L1Hit)
+		return
+	}
+	p.met.LLCAccesses++
+	if m.llc.Access(key) {
+		c.advance(p, m.cfg.L1Hit+m.cfg.LLCHit)
+		p.met.MemStall += m.cfg.LLCHit
+		c.l1.Fill(key)
+		return
+	}
+	p.met.LLCMisses++
+	stall := m.cfg.L1Hit + m.cfg.LLCHit + mem.AccessLatency
+	c.advance(p, stall)
+	p.met.MemStall += m.cfg.LLCHit + mem.AccessLatency
+	m.llcFill(key)
+	c.l1.Fill(key)
+}
+
+// llcFill installs a line in the shared LLC; the inclusive hierarchy
+// back-invalidates the displaced victim from every core's L1.
+func (m *Machine) llcFill(key uint64) {
+	if victim, ok := m.llc.Fill(key); ok {
+		addr := m.llc.AddrOf(victim)
+		for _, c := range m.cores {
+			c.l1.Invalidate(addr)
+		}
+	}
+}
+
+// swapKind distinguishes why a page is being swapped in.
+type swapKind uint8
+
+const (
+	swapDemand swapKind = iota
+	swapPrefetch
+	swapCluster
+)
+
+// ensureSwapIn starts (or joins) the swap-in of (pid, page-of-va) and
+// returns its completion time. The completion runs as an event on this
+// core's engine and migrates with the process if it is stolen.
+func (c *coreCPU) ensureSwapIn(p *proc, va uint64, kind swapKind) sim.Time {
+	m := c.m
+	page := va &^ uint64(pagetable.PageSize-1)
+	key := inflightKey{pid: p.pid, page: page}
+	if done, ok := m.inflight[key]; ok {
+		return done
+	}
+	if pte, ok := m.krn.Process(p.pid).AS.Lookup(page); ok && pte.Present() {
+		return c.eng.Now()
+	}
+	out := m.krn.StartSwapIn(c.eng.Now(), p.pid, page, kind != swapDemand)
+	m.inflight[key] = out.Done
+	c.schedulePendingIO(p, &pendingIO{key: key, frame: out.Frame, done: out.Done})
+	if kind == swapPrefetch {
+		p.met.PrefetchIssued++
+		if m.want[obs.EvPrefetchIssue] {
+			c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvPrefetchIssue,
+				PID: p.pid, VA: page, Dur: out.Done - c.eng.Now()})
+		}
+	}
+	return out.Done
+}
+
+// clusterSwapIn fetches the swapped-out siblings of va's aligned
+// SwapClusterPages-page cluster, returning the last completion time.
+func (c *coreCPU) clusterSwapIn(p *proc, va uint64) sim.Time {
+	cluster := uint64(c.m.cfg.SwapClusterPages) * pagetable.PageSize
+	base := va &^ (cluster - 1)
+	victim := va &^ uint64(pagetable.PageSize-1)
+	as := c.m.krn.Process(p.pid).AS
+	var last sim.Time
+	for pv := base; pv < base+cluster; pv += pagetable.PageSize {
+		if pv == victim {
+			continue
+		}
+		if pte, ok := as.Lookup(pv); !ok || !pte.Swapped() {
+			continue
+		}
+		if d := c.ensureSwapIn(p, pv, swapCluster); d > last {
+			last = d
+		}
+	}
+	return last
+}
+
+// tryPrefetch starts the swap-in of a prefetch candidate, subject to device
+// admission control — channels now contended by every core's demand and
+// prefetch traffic at once.
+func (c *coreCPU) tryPrefetch(p *proc, va uint64) {
+	m := c.m
+	page := va &^ uint64(pagetable.PageSize-1)
+	if _, busy := m.inflight[inflightKey{pid: p.pid, page: page}]; busy {
+		return
+	}
+	pte, ok := m.krn.Process(p.pid).AS.Lookup(page)
+	if !ok || !pte.Swapped() {
+		return
+	}
+	if !m.krn.Device().FreeChannelAt(pte.Frame(), c.eng.Now()) {
+		p.met.PrefetchDropped++
+		if m.want[obs.EvPrefetchDrop] {
+			c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvPrefetchDrop, PID: p.pid, VA: page})
+		}
+		return
+	}
+	c.ensureSwapIn(p, page, swapPrefetch)
+}
+
+// majorFault runs the paper's Figure 1 flow for one major fault on this
+// core. It returns true when the process blocked (async mode).
+func (c *coreCPU) majorFault(p *proc, rec trace.Record) (blocked bool) {
+	m := c.m
+	faultStart := c.eng.Now()
+	if m.want[obs.EvMajorFaultBegin] {
+		c.emit(obs.Event{Time: faultStart, Type: obs.EvMajorFaultBegin, PID: p.pid, VA: rec.Addr})
+	}
+	p.met.MajorFaults++
+	c.advance(p, kernel.FaultEntryCost)
+	m.krn.ChargeHandler(kernel.FaultEntryCost)
+	m.run.FaultHandlerTime += kernel.FaultEntryCost
+
+	ctx := policy.Context{
+		Now:         c.eng.Now(),
+		PID:         p.pid,
+		VA:          rec.Addr,
+		AS:          m.krn.Process(p.pid).AS,
+		CurPriority: p.spec.Priority,
+	}
+	if next := c.sch.NextToRun(); next != -1 {
+		ctx.HasNext = true
+		ctx.NextPriority = m.procs[next].spec.Priority
+	}
+	d := c.pol.Decide(&ctx)
+	if d.DispatchCost > 0 {
+		c.advance(p, d.DispatchCost)
+		m.krn.ChargeHandler(d.DispatchCost)
+		m.run.FaultHandlerTime += d.DispatchCost
+	}
+
+	done := c.ensureSwapIn(p, rec.Addr, swapDemand)
+	if m.cfg.SwapClusterPages > 1 {
+		if d2 := c.clusterSwapIn(p, rec.Addr); d2 > done {
+			done = d2
+		}
+	}
+
+	if d.Mode == policy.AsyncBlock {
+		for _, pv := range d.Prefetch {
+			c.tryPrefetch(p, pv)
+		}
+		c.sch.Block(p.pid)
+		p.blockedAt = c.eng.Now()
+		p.wasBlocked = true
+		if m.want[obs.EvBlock] {
+			c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvBlock, PID: p.pid,
+				VA: rec.Addr, Dur: c.eng.Now() - c.dispatchedAt})
+		}
+		c.scheduleFaultEnd(p, rec.Addr, faultStart, done, "async")
+		c.eng.Schedule(done, func(sim.Time) { c.sch.Unblock(p.pid) })
+		c.chargeSwitch(p)
+		return true
+	}
+
+	if d.SpinThreshold > 0 && done-c.eng.Now() > d.SpinThreshold {
+		p.met.StorageWait += d.SpinThreshold
+		c.advance(p, d.SpinThreshold)
+		c.sch.Block(p.pid)
+		p.blockedAt = c.eng.Now()
+		p.wasBlocked = true
+		if m.want[obs.EvBlock] {
+			c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvBlock, PID: p.pid,
+				VA: rec.Addr, Dur: c.eng.Now() - c.dispatchedAt})
+		}
+		c.scheduleFaultEnd(p, rec.Addr, faultStart, done, "spin")
+		c.eng.Schedule(done, func(sim.Time) { c.sch.Unblock(p.pid) })
+		c.chargeSwitch(p)
+		return true
+	}
+
+	// Synchronous busy-wait: the window is this core's storage stall; ITS
+	// steals it for prefetching and pre-execution.
+	windowStart := c.eng.Now()
+	if w := done - windowStart; w > 0 {
+		p.met.StorageWait += w
+		m.run.SyncWaitHist.Observe(w)
+	}
+	if d.PrefetchWalkCost > 0 {
+		walk := d.PrefetchWalkCost
+		if rem := done - c.eng.Now(); walk > rem && rem > 0 {
+			walk = rem
+		}
+		c.advance(p, walk)
+		p.met.StolenPrefetch += walk
+		c.met.StolenPrefetch += walk
+		if m.want[obs.EvPrefetchWalk] {
+			c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvPrefetchWalk, PID: p.pid,
+				Dur: walk, Value: int64(d.PrefetchScanned)})
+		}
+	}
+	for _, pv := range d.Prefetch {
+		c.tryPrefetch(p, pv)
+	}
+	preexecuted := false
+	if d.PreExecute && c.px != nil {
+		window := done - c.eng.Now()
+		if window > 0 {
+			c.preExecute(p, rec, window)
+			preexecuted = true
+		}
+	}
+	if rem := done - c.eng.Now(); rem > 0 {
+		c.advance(p, rem)
+	}
+	if preexecuted {
+		c.endRecovery(p, windowStart, done)
+	}
+	if m.want[obs.EvMajorFaultEnd] {
+		c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvMajorFaultEnd, PID: p.pid,
+			VA: rec.Addr, Dur: c.eng.Now() - faultStart, Cause: "sync"})
+	}
+	return false
+}
+
+// scheduleFaultEnd arranges the EvMajorFaultEnd of an asynchronous or
+// spin-then-block fault to fire when its DMA lands. Blocked processes never
+// migrate, so the owning core's engine is the right home.
+func (c *coreCPU) scheduleFaultEnd(p *proc, va uint64, faultStart, done sim.Time, mode string) {
+	if !c.m.want[obs.EvMajorFaultEnd] {
+		return
+	}
+	c.eng.Schedule(done, func(now sim.Time) {
+		c.emit(obs.Event{Time: now, Type: obs.EvMajorFaultEnd, PID: p.pid,
+			VA: va, Dur: now - faultStart, Cause: mode})
+	})
+}
+
+// endRecovery applies the §3.4.3 termination mode after a pre-execution
+// episode.
+func (c *coreCPU) endRecovery(p *proc, windowStart, done sim.Time) {
+	m := c.m
+	if m.cfg.RecoveryPoll <= 0 {
+		c.advance(p, machine.InterruptCost)
+		p.met.RecoveryOverhead += machine.InterruptCost
+		m.krn.ChargeHandler(machine.InterruptCost)
+		m.run.FaultHandlerTime += machine.InterruptCost
+		if m.want[obs.EvRecovery] {
+			c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvRecovery, PID: p.pid,
+				Dur: machine.InterruptCost, Cause: "interrupt"})
+		}
+		return
+	}
+	elapsed := done - windowStart
+	over := (m.cfg.RecoveryPoll - elapsed%m.cfg.RecoveryPoll) % m.cfg.RecoveryPoll
+	if over > 0 {
+		c.advance(p, over)
+		p.met.RecoveryOverhead += over
+		p.met.StorageWait += over
+	}
+	if m.want[obs.EvRecovery] {
+		c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvRecovery, PID: p.pid,
+			Dur: over, Cause: "poll"})
+	}
+}
+
+// preExecute runs this core's fault-aware pre-execute engine during a
+// synchronous wait window, warming the shared LLC through its private
+// carve-out.
+func (c *coreCPU) preExecute(p *proc, faulting trace.Record, window sim.Time) {
+	m := c.m
+	if c.lastPXPid != p.pid {
+		c.px.FlushHardware()
+		c.lastPXPid = p.pid
+	}
+	as := m.krn.Process(p.pid).AS
+	env := preexec.Env{
+		Lookahead: func(i int) (trace.Record, bool) {
+			return c.peek(p, 1+i)
+		},
+		PagePresent: func(va uint64) bool {
+			pte, ok := as.Lookup(va)
+			return ok && pte.Present()
+		},
+		PTEINV: func(va uint64) bool {
+			pte, ok := as.Lookup(va)
+			return ok && pte.INV()
+		},
+		SetPTEINV: func(va uint64) {
+			as.Update(va, func(e pagetable.PTE) pagetable.PTE { return e | pagetable.FlagINV })
+		},
+		LLCContains: func(addr uint64) bool {
+			return m.llc.Contains(tagged(p.pid, addr))
+		},
+		LLCFill: func(addr uint64) {
+			m.llcFill(tagged(p.pid, addr))
+			if pte, ok := as.Lookup(addr); ok && pte.Present() {
+				m.krn.DRAM().Touch(mem.FrameID(pte.Frame()), false)
+			}
+		},
+		ClearPTEINV: func(va uint64) {
+			as.Update(va, func(e pagetable.PTE) pagetable.PTE { return e &^ pagetable.FlagINV })
+		},
+		FaultVA:  faulting.Addr,
+		FaultDst: faulting.Dst,
+	}
+	res := c.px.Run(window, env)
+	if res.Used > 0 {
+		c.advance(p, res.Used)
+		p.met.StolenPreexec += res.Used - res.Overhead
+		c.met.StolenPreexec += res.Used - res.Overhead
+		p.met.RecoveryOverhead += res.Overhead
+	}
+	p.met.PreexecInstrs += res.Instrs
+	p.met.PreexecValid += res.Valid
+	p.met.PreexecFills += res.Fills
+	if m.want[obs.EvPreexecWindow] {
+		c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvPreexecWindow, PID: p.pid,
+			Dur: res.Used, Value: int64(res.Instrs)})
+	}
+}
