@@ -1,0 +1,190 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+)
+
+// diffMain is the `itsbench diff` subcommand: it compares two -format json
+// documents and reports every metric that drifted beyond the tolerance —
+// the ROADMAP's regression check. Exit status: 0 when the documents agree,
+// 1 on drift, 2 on usage or read errors.
+//
+//	itsbench -exp all -format json > before.json
+//	# ...change the simulator...
+//	itsbench -exp all -format json > after.json
+//	itsbench diff before.json after.json
+func diffMain(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("diff", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	tolerance := fs.Float64("tolerance", 0,
+		"maximum tolerated relative drift per metric (0 = exact match)")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: itsbench diff [-tolerance frac] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldDoc, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itsbench diff:", err)
+		return 2
+	}
+	newDoc, err := loadDoc(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itsbench diff:", err)
+		return 2
+	}
+	drifts := diffDocs(oldDoc, newDoc, *tolerance)
+	if len(drifts) == 0 {
+		fmt.Fprintf(out, "itsbench diff: no drift (%d figures, %d runs compared)\n",
+			len(oldDoc.Figures), len(oldDoc.Runs))
+		return 0
+	}
+	for _, d := range drifts {
+		fmt.Fprintln(out, d)
+	}
+	fmt.Fprintf(out, "itsbench diff: %d metrics drifted\n", len(drifts))
+	return 1
+}
+
+func loadDoc(path string) (*jsonDoc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// diffDocs returns one line per drifted metric, sorted for stable output.
+func diffDocs(oldDoc, newDoc *jsonDoc, tol float64) []string {
+	var drifts []string
+	report := func(name string, a, b float64) {
+		if !withinTolerance(a, b, tol) {
+			drifts = append(drifts, fmt.Sprintf("%s: %v -> %v (%+.3g%%)",
+				name, a, b, relDrift(a, b)*100))
+		}
+	}
+
+	// Figures: figure → batch → policy → value.
+	for _, fig := range sortedKeys(oldDoc.Figures) {
+		newFig, ok := newDoc.Figures[fig]
+		if !ok {
+			drifts = append(drifts, fmt.Sprintf("figures/%s: missing from new document", fig))
+			continue
+		}
+		for _, batch := range sortedKeys(oldDoc.Figures[fig]) {
+			newRow, ok := newFig[batch]
+			if !ok {
+				drifts = append(drifts, fmt.Sprintf("figures/%s/%s: missing from new document", fig, batch))
+				continue
+			}
+			for _, pol := range sortedKeys(oldDoc.Figures[fig][batch]) {
+				nv, ok := newRow[pol]
+				if !ok {
+					drifts = append(drifts, fmt.Sprintf("figures/%s/%s/%s: missing from new document", fig, batch, pol))
+					continue
+				}
+				report(fmt.Sprintf("figures/%s/%s/%s", fig, batch, pol),
+					oldDoc.Figures[fig][batch][pol], nv)
+			}
+		}
+	}
+	for _, fig := range sortedKeys(newDoc.Figures) {
+		if _, ok := oldDoc.Figures[fig]; !ok {
+			drifts = append(drifts, fmt.Sprintf("figures/%s: only in new document", fig))
+		}
+	}
+
+	// Run summaries, keyed by policy/batch.
+	type runKey struct{ policy, batch string }
+	oldRuns := make(map[runKey]int, len(oldDoc.Runs))
+	for i, r := range oldDoc.Runs {
+		oldRuns[runKey{r.Policy, r.Batch}] = i
+	}
+	seen := make(map[runKey]bool, len(newDoc.Runs))
+	for _, r := range newDoc.Runs {
+		key := runKey{r.Policy, r.Batch}
+		seen[key] = true
+		i, ok := oldRuns[key]
+		if !ok {
+			drifts = append(drifts, fmt.Sprintf("runs/%s/%s: only in new document", r.Policy, r.Batch))
+			continue
+		}
+		o := oldDoc.Runs[i]
+		prefix := fmt.Sprintf("runs/%s/%s/", r.Policy, r.Batch)
+		fields := []struct {
+			name     string
+			old, new float64
+		}{
+			{"makespan_ns", float64(o.MakespanNs), float64(r.MakespanNs)},
+			{"total_idle_ns", float64(o.TotalIdleNs), float64(r.TotalIdleNs)},
+			{"scheduler_idle_ns", float64(o.SchedulerIdleNs), float64(r.SchedulerIdleNs)},
+			{"context_switch_time_ns", float64(o.ContextSwitchTimeNs), float64(r.ContextSwitchTimeNs)},
+			{"fault_handler_time_ns", float64(o.FaultHandlerTimeNs), float64(r.FaultHandlerTimeNs)},
+			{"total_stolen_ns", float64(o.TotalStolenNs), float64(r.TotalStolenNs)},
+			{"major_faults", float64(o.MajorFaults), float64(r.MajorFaults)},
+			{"minor_faults", float64(o.MinorFaults), float64(r.MinorFaults)},
+			{"llc_misses", float64(o.LLCMisses), float64(r.LLCMisses)},
+			{"context_switches", float64(o.ContextSwitches), float64(r.ContextSwitches)},
+			{"prefetch_accuracy", o.PrefetchAccuracy, r.PrefetchAccuracy},
+			{"avg_finish_ns", float64(o.AvgFinishNs), float64(r.AvgFinishNs)},
+			{"top_half_avg_finish_ns", float64(o.TopHalfAvgFinishNs), float64(r.TopHalfAvgFinishNs)},
+			{"bottom_half_avg_finish_ns", float64(o.BottomHalfAvgFinishNs), float64(r.BottomHalfAvgFinishNs)},
+		}
+		for _, f := range fields {
+			report(prefix+f.name, f.old, f.new)
+		}
+	}
+	for _, r := range oldDoc.Runs {
+		if !seen[runKey{r.Policy, r.Batch}] {
+			drifts = append(drifts, fmt.Sprintf("runs/%s/%s: missing from new document", r.Policy, r.Batch))
+		}
+	}
+	return drifts
+}
+
+// withinTolerance reports whether b is within the relative tolerance of a.
+// tol 0 demands exact equality.
+func withinTolerance(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	return relDrift(a, b) <= tol
+}
+
+// relDrift is |b-a| relative to |a| (or to |b| when a is zero, so appearing
+// and disappearing values always register).
+func relDrift(a, b float64) float64 {
+	base := math.Abs(a)
+	if base == 0 {
+		base = math.Abs(b)
+	}
+	if base == 0 {
+		return 0
+	}
+	return math.Abs(b-a) / base
+}
+
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

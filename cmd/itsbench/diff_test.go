@@ -1,0 +1,125 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"itsim/internal/metrics"
+)
+
+func writeDoc(t *testing.T, dir, name string, doc *jsonDoc) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func testDoc() *jsonDoc {
+	return &jsonDoc{
+		Scale: 0.25,
+		Figures: map[string]map[string]map[string]float64{
+			"fig4a": {"1_Data_Intensive": {"ITS": 1.0, "Sync": 1.8}},
+		},
+		Runs: []metrics.Summary{{
+			Policy:      "ITS",
+			Batch:       "1_Data_Intensive",
+			MakespanNs:  1_000_000,
+			MajorFaults: 420,
+		}},
+	}
+}
+
+func TestDiffIdenticalDocs(t *testing.T) {
+	dir := t.TempDir()
+	a := writeDoc(t, dir, "a.json", testDoc())
+	b := writeDoc(t, dir, "b.json", testDoc())
+	var out bytes.Buffer
+	if code := diffMain([]string{a, b}, &out); code != 0 {
+		t.Fatalf("identical docs: exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "no drift") {
+		t.Errorf("missing no-drift confirmation: %q", out.String())
+	}
+}
+
+func TestDiffDetectsDrift(t *testing.T) {
+	dir := t.TempDir()
+	a := writeDoc(t, dir, "a.json", testDoc())
+	changed := testDoc()
+	changed.Figures["fig4a"]["1_Data_Intensive"]["Sync"] = 2.0
+	changed.Runs[0].MakespanNs = 1_100_000
+	b := writeDoc(t, dir, "b.json", changed)
+
+	var out bytes.Buffer
+	if code := diffMain([]string{a, b}, &out); code != 1 {
+		t.Fatalf("drifted docs: exit %d, want 1; output:\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"figures/fig4a/1_Data_Intensive/Sync",
+		"runs/ITS/1_Data_Intensive/makespan_ns",
+		"2 metrics drifted",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDiffTolerance(t *testing.T) {
+	dir := t.TempDir()
+	a := writeDoc(t, dir, "a.json", testDoc())
+	changed := testDoc()
+	changed.Runs[0].MakespanNs = 1_010_000 // +1 %
+	b := writeDoc(t, dir, "b.json", changed)
+
+	var out bytes.Buffer
+	if code := diffMain([]string{"-tolerance", "0.05", a, b}, &out); code != 0 {
+		t.Fatalf("1%% drift under 5%% tolerance: exit %d, output:\n%s", code, out.String())
+	}
+	out.Reset()
+	if code := diffMain([]string{"-tolerance", "0.001", a, b}, &out); code != 1 {
+		t.Fatalf("1%% drift over 0.1%% tolerance: exit %d, output:\n%s", code, out.String())
+	}
+}
+
+func TestDiffMissingAndExtraEntries(t *testing.T) {
+	dir := t.TempDir()
+	a := writeDoc(t, dir, "a.json", testDoc())
+	changed := testDoc()
+	changed.Figures["fig5a"] = map[string]map[string]float64{"x": {"ITS": 1}}
+	changed.Runs = nil
+	b := writeDoc(t, dir, "b.json", changed)
+
+	var out bytes.Buffer
+	if code := diffMain([]string{a, b}, &out); code != 1 {
+		t.Fatalf("structural differences: exit %d, want 1; output:\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"figures/fig5a: only in new document",
+		"runs/ITS/1_Data_Intensive: missing from new document",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestDiffUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if code := diffMain([]string{"only-one.json"}, &out); code != 2 {
+		t.Errorf("one arg: exit %d, want 2", code)
+	}
+	if code := diffMain([]string{"/nonexistent/a.json", "/nonexistent/b.json"}, &out); code != 2 {
+		t.Errorf("unreadable files: exit %d, want 2", code)
+	}
+}

@@ -20,6 +20,12 @@
 //	itsbench -exp fig4a -format chart
 //	itsbench -exp all -format json
 //	itsbench -exp fig4a -trace-out trace.json -trace-format chrome
+//	itsbench diff before.json after.json
+//
+// The diff subcommand compares two -format json documents and exits
+// non-zero when any figure value or run-summary metric drifted beyond
+// -tolerance (default: exact match) — the regression check for simulator
+// changes that must not move the numbers.
 //
 // With -trace-out every simulated run streams its event trace into one file
 // (runs become separate trace processes); see docs/OBSERVABILITY.md.
@@ -45,6 +51,11 @@ import (
 )
 
 func main() {
+	// Subcommand dispatch precedes flag parsing: `itsbench diff a.json
+	// b.json` compares two -format json documents (regression check).
+	if len(os.Args) > 1 && os.Args[1] == "diff" {
+		os.Exit(diffMain(os.Args[2:], os.Stdout))
+	}
 	var (
 		exp         = flag.String("exp", "all", "experiment: obs|fig4a|fig4b|fig4c|fig5a|fig5b|setup|xover|spin|sens|all")
 		scale       = flag.Float64("scale", 0.25, "workload scale factor")

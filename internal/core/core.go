@@ -128,9 +128,12 @@ func policyFactory(kind policy.Kind, its policy.ITSConfig) func() policy.Policy 
 	}
 }
 
-// runMachine builds the right machine model for cfg (the legacy single-core
+// runMachine builds the right machine model for cfg (the single-core
 // machine, or the SMP model when more than one core is configured), runs the
-// specs on it and returns the metrics.
+// specs on it and returns the metrics. Both models run the shared executor
+// in internal/exec; they differ only in coordination (plain run loop vs
+// bounded-skew coordinator with work stealing), so the 1-core outputs are
+// byte-identical on either path.
 func runMachine(cfg machine.Config, newPolicy func() policy.Policy, name string, specs []machine.ProcessSpec, opts Options) (*metrics.Run, error) {
 	if newPolicy == nil {
 		return nil, errors.New("core: nil policy factory")

@@ -1,0 +1,97 @@
+package exec
+
+import (
+	"itsim/internal/mem"
+	"itsim/internal/metrics"
+	"itsim/internal/pagetable"
+	"itsim/internal/sim"
+	"itsim/internal/trace"
+)
+
+// Proc is the per-process runtime state. The steal-eligibility fields
+// (Owner, ReadyAt, Pending) are maintained unconditionally; on a single-core
+// Shared they are inert bookkeeping.
+type Proc struct {
+	// PID is the process id (index into Shared.Procs).
+	PID int
+	// Spec is the declaration the process was built from.
+	Spec ProcessSpec
+	// Met is the per-process metrics record.
+	Met *metrics.Process
+
+	// Owner is the core whose runqueue currently holds the process.
+	Owner int
+	// ReadyAt is when the process last became Ready (owner-core clock);
+	// a thief's clock jumps to at least this time before stealing.
+	ReadyAt sim.Time
+	// Pending tracks this process's in-flight swap-in completions, which
+	// live on the owner core's engine and migrate with the process.
+	Pending []*PendingIO
+
+	// look is the lookahead FIFO of fetched-but-unexecuted records;
+	// head indexes the next record to execute.
+	look []trace.Record
+	head int
+	// drained means the generator is exhausted.
+	drained bool
+
+	sliceLeft sim.Time
+	// instCarry holds leftover instructions that didn't fill a whole
+	// nanosecond at InstPerNs.
+	instCarry uint64
+	// blockedAt is when the process blocked on asynchronous I/O;
+	// wasBlocked makes the next dispatch charge the block→dispatch span
+	// as storage-induced stall.
+	blockedAt  sim.Time
+	wasBlocked bool
+	// gapPaid marks that the head record's compute gap has been charged,
+	// so a faulting access retried after an asynchronous block does not
+	// pay (or count) its gap twice.
+	gapPaid bool
+}
+
+// dropPending removes pio from the process's in-flight completion list.
+func (p *Proc) dropPending(pio *PendingIO) {
+	for i, q := range p.Pending {
+		if q == pio {
+			p.Pending = append(p.Pending[:i], p.Pending[i+1:]...)
+			return
+		}
+	}
+}
+
+// InflightKey identifies one in-flight swap-in: the page of one process.
+type InflightKey struct {
+	PID  int
+	Page uint64
+}
+
+// PendingIO is one scheduled swap-in completion. The SMP steal path cancels
+// Ev on the victim core's engine and reschedules the completion on the
+// thief's.
+type PendingIO struct {
+	Key   InflightKey
+	Frame mem.FrameID
+	Done  sim.Time
+	Ev    *sim.Event
+}
+
+// swapKind distinguishes why a page is being swapped in.
+type swapKind uint8
+
+const (
+	// swapDemand is the faulting page itself.
+	swapDemand swapKind = iota
+	// swapPrefetch is a prefetcher candidate (counted in prefetch
+	// metrics; first victim under pressure).
+	swapPrefetch
+	// swapCluster is a sibling page of a huge-I/O cluster fault (not a
+	// prefetch for metrics purposes, not separately a major fault).
+	swapCluster
+)
+
+// Tagged folds the pid into the address's upper bits so per-process virtual
+// addresses share the physically-indexed caches without aliasing.
+func Tagged(pid int, addr uint64) uint64 {
+	return addr&(1<<pagetable.VABits-1) | uint64(pid+1)<<pagetable.VABits
+}

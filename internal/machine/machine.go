@@ -8,308 +8,60 @@
 // A Machine executes a batch of trace-driven processes to completion on a
 // deterministic virtual clock and produces a metrics.Run with everything
 // Figures 4 and 5 need.
+//
+// The per-record executor lives in internal/exec and is shared with the
+// multi-core model (internal/smp): a Machine is one exec.Core over one
+// exec.Shared, driven by the plain run loop below. Config and ProcessSpec
+// are aliases of the exec types, so existing callers are unaffected.
 package machine
 
 import (
 	"fmt"
 
 	"itsim/internal/cache"
-	"itsim/internal/cpu"
+	"itsim/internal/exec"
 	"itsim/internal/kernel"
-	"itsim/internal/mem"
 	"itsim/internal/metrics"
 	"itsim/internal/obs"
-	"itsim/internal/pagetable"
 	"itsim/internal/policy"
-	"itsim/internal/preexec"
 	"itsim/internal/sched"
 	"itsim/internal/sim"
-	"itsim/internal/storage"
-	"itsim/internal/trace"
-
-	"itsim/internal/bus"
 )
 
-// Timing defaults of the simulated core.
+// Timing defaults of the simulated core (re-exported from internal/exec for
+// the package's historical API).
 const (
 	// DefaultL1Hit is the L1 hit latency.
-	DefaultL1Hit = 1 * sim.Nanosecond
+	DefaultL1Hit = exec.DefaultL1Hit
 	// DefaultLLCHit is the LLC hit latency.
-	DefaultLLCHit = 12 * sim.Nanosecond
+	DefaultLLCHit = exec.DefaultLLCHit
 	// DefaultInstPerNs is instructions retired per nanosecond of pure
 	// compute (2 ⇒ 0.5 ns per instruction, a 2 GHz core at IPC 1).
-	DefaultInstPerNs = 2
+	DefaultInstPerNs = exec.DefaultInstPerNs
 	// DefaultLookahead is how many upcoming records the pre-execute
 	// engine can see (the effective instruction window during runahead).
-	DefaultLookahead = 256
+	DefaultLookahead = exec.DefaultLookahead
+	// InterruptCost is the DMA completion interrupt's handling cost charged
+	// when interrupt-driven state recovery ends a pre-execution episode
+	// (§3.4.3).
+	InterruptCost = exec.InterruptCost
 )
 
-// Config sizes the simulated platform. The zero value is not usable;
-// start from DefaultConfig.
-type Config struct {
-	// Cores is the number of simulated CPU cores. 1 (or 0, for configs
-	// built before the field existed) selects this package's single-core
-	// machine; larger values select the internal/smp model, which shares
-	// the LLC, kernel and storage path across cores. Validate rejects
-	// non-positive values on paths that take user input.
-	Cores int
-	// LLCSize/LLCWays/LineBytes shape the last-level cache. When the
-	// policy needs a pre-execute cache, half of LLCSize goes to it.
-	LLCSize   int
-	LLCWays   int
-	LineBytes int
-	// L1Size/L1Ways shape the first-level cache.
-	L1Size int
-	L1Ways int
-	// L1Hit/LLCHit are hit latencies.
-	L1Hit  sim.Time
-	LLCHit sim.Time
-	// InstPerNs converts instruction gaps to time.
-	InstPerNs int
-	// DRAMFrames fixes physical memory size in frames; when zero,
-	// DRAMRatio × (batch footprint pages) is used.
-	DRAMFrames int
-	// DRAMRatio sizes DRAM relative to the batch's aggregate footprint
-	// (the paper tailors DRAM to the working set; contention comes from
-	// the sum exceeding capacity).
-	DRAMRatio float64
-	// Replacement selects the page-replacement policy.
-	Replacement mem.ReplacementKind
-	// Device parameterizes the ULL SSD.
-	Device storage.Config
-	// BusLanes/LaneBandwidth parameterize the PCIe link.
-	BusLanes      int
-	LaneBandwidth int64
-	// Lookahead bounds the pre-execute window in records.
-	Lookahead int
-	// MinSlice/MaxSlice are the SCHED_RR NICE slice bounds. The paper
-	// uses 5 ms…800 ms over minutes-long traces; scaled-down traces
-	// scale these with the workload so round-robin rotation dynamics are
-	// preserved (see core.Options.Scale). Zero selects the paper values.
-	MinSlice sim.Time
-	MaxSlice sim.Time
-	// MaxSimTime aborts runaway simulations (0 = no limit).
-	MaxSimTime sim.Time
-	// WarmFraction of DRAM is pre-loaded with the processes' working
-	// sets (fair shares, hottest pages first) before the run, modelling
-	// the paper's steady-state multiprogramming rather than a cold boot.
-	// 0 selects the default (0.85); negative disables warm-start.
-	WarmFraction float64
-	// PreExecCacheFraction is the share of the LLC carved out as the
-	// pre-execute cache for Sync_Runahead/ITS (paper §4.1 fixes it at
-	// one half). 0 selects 0.5; values are clamped to [0.1, 0.9] and
-	// rounded to keep both caches valid set-associative geometries.
-	PreExecCacheFraction float64
-	// StrictPriority selects true SCHED_RR dispatch semantics (highest
-	// priority first) instead of the paper's effective single-queue
-	// round-robin with NICE slices. Ablation knob.
-	StrictPriority bool
-	// TLBEntries enables the TLB model with the given capacity (0 =
-	// disabled). When enabled, context switches flush the TLB and every
-	// TLB miss pays TLBMissCost — a mechanistic replacement for the
-	// fixed SwitchPollutionCost, which is then not charged.
-	TLBEntries int
-	// TLBMissCost is the page-walk cost of a TLB miss (default 25 ns: a
-	// mostly-cached 4-level walk).
-	TLBMissCost sim.Time
-	// SwapClusterPages selects the swap-in granularity in pages (0 or 1
-	// = base 4 KiB pages). Larger values model huge-page-style swapping
-	// (paper §1: "larger I/O sizes like huge page management"): a major
-	// fault fetches the whole aligned cluster and the faulting process
-	// waits for all of it.
-	SwapClusterPages int
-	// RecoveryPoll selects the state-recovery termination mode of
-	// §3.4.3: zero means interrupt-driven (the DMA controller interrupts
-	// on I/O completion, costing InterruptCost), a positive duration
-	// means a polling timer checks completion every RecoveryPoll — the
-	// process resumes only at the next tick after the DMA lands, so
-	// polling overshoots by up to one interval.
-	RecoveryPoll sim.Time
-}
-
-// InterruptCost is the DMA completion interrupt's handling cost charged when
-// interrupt-driven state recovery ends a pre-execution episode (§3.4.3).
-const InterruptCost = 300 * sim.Nanosecond
-
-// DefaultConfig returns the paper's §4.1 platform.
-func DefaultConfig() Config {
-	return Config{
-		Cores:         1,
-		LLCSize:       8 << 20,
-		LLCWays:       16,
-		LineBytes:     64,
-		L1Size:        32 << 10,
-		L1Ways:        8,
-		L1Hit:         DefaultL1Hit,
-		LLCHit:        DefaultLLCHit,
-		InstPerNs:     DefaultInstPerNs,
-		DRAMRatio:     0.75,
-		Replacement:   mem.ReplaceClock,
-		Device:        storage.DefaultConfig(),
-		BusLanes:      bus.DefaultLanes,
-		LaneBandwidth: bus.DefaultLaneBandwidth,
-		Lookahead:     DefaultLookahead,
-	}
-}
-
-// preExecWays returns how many LLC ways the pre-execute carve-out takes in
-// total, applying the PreExecCacheFraction defaulting and clamping rules.
-func (c Config) preExecWays() int {
-	frac := c.PreExecCacheFraction
-	if frac <= 0 {
-		frac = 0.5
-	}
-	if frac < 0.1 {
-		frac = 0.1
-	}
-	if frac > 0.9 {
-		frac = 0.9
-	}
-	pxWays := int(frac*float64(c.LLCWays) + 0.5)
-	if pxWays < 1 {
-		pxWays = 1
-	}
-	if pxWays >= c.LLCWays {
-		pxWays = c.LLCWays - 1
-	}
-	return pxWays
-}
-
-// PreExecPartition splits the LLC's ways between the shared LLC and `cores`
-// per-core pre-execute carve-outs. The total carve-out budget is the
-// single-core fraction of the ways; each core receives an equal share of at
-// least one way, and the shared LLC keeps whatever remains. An error means
-// the geometry cannot host one carve-out per core — the validation the
-// -cores flag path surfaces to the user.
-func (c Config) PreExecPartition(cores int) (pxWaysPerCore, llcWays int, err error) {
-	if cores < 1 {
-		return 0, 0, fmt.Errorf("machine: non-positive core count %d", cores)
-	}
-	total := c.preExecWays()
-	per := total / cores
-	if per < 1 {
-		return 0, 0, fmt.Errorf("machine: LLC (%d ways, %d reserved for pre-execute caches) is smaller than one pre-execute carve-out per core across %d cores",
-			c.LLCWays, total, cores)
-	}
-	llcWays = c.LLCWays - per*cores
-	if llcWays < 1 {
-		return 0, 0, fmt.Errorf("machine: %d cores × %d pre-execute ways leave no LLC ways of %d",
-			cores, per, c.LLCWays)
-	}
-	return per, llcWays, nil
-}
-
-// Validate checks the platform configuration, returning errors instead of
-// the panics (or silent nonsense) the low-level constructors produce: paths
-// that accept user input — the CLIs' -cores flag, core.Options — validate
-// before building a machine.
-func (c Config) Validate() error {
-	if c.Cores <= 0 {
-		return fmt.Errorf("machine: core count must be positive, got %d", c.Cores)
-	}
-	if c.LLCWays <= 0 || c.LLCWays&(c.LLCWays-1) != 0 {
-		return fmt.Errorf("machine: LLC ways %d is not a power of two", c.LLCWays)
-	}
-	if c.L1Ways <= 0 || c.L1Ways&(c.L1Ways-1) != 0 {
-		return fmt.Errorf("machine: L1 ways %d is not a power of two", c.L1Ways)
-	}
-	if err := (cache.Config{SizeBytes: c.LLCSize, LineBytes: c.LineBytes, Ways: c.LLCWays}).Validate(); err != nil {
-		return fmt.Errorf("machine: LLC geometry: %w", err)
-	}
-	if err := (cache.Config{SizeBytes: c.L1Size, LineBytes: c.LineBytes, Ways: c.L1Ways}).Validate(); err != nil {
-		return fmt.Errorf("machine: L1 geometry: %w", err)
-	}
-	// Every policy must be runnable on the configured geometry, so the
-	// pre-execute carve-out (ITS/Sync_Runahead) must fit even if the run
-	// at hand does not use it.
-	if _, _, err := c.PreExecPartition(c.Cores); err != nil {
-		return err
-	}
-	return nil
-}
+// Config sizes the simulated platform. The zero value is not usable; start
+// from DefaultConfig.
+type Config = exec.Config
 
 // ProcessSpec declares one process of a run.
-type ProcessSpec struct {
-	// Name labels the process (benchmark name).
-	Name string
-	// Gen supplies the trace.
-	Gen trace.Generator
-	// Priority is the scheduling priority (larger = higher).
-	Priority int
-	// BaseVA is where the process image starts; the region
-	// [BaseVA, BaseVA+Gen.FootprintBytes()) is mapped into the swap area
-	// before the run. Synthetic workloads use workload.BaseVA.
-	BaseVA uint64
-}
+type ProcessSpec = exec.ProcessSpec
 
-// proc is the per-process runtime state.
-type proc struct {
-	pid  int
-	spec ProcessSpec
-	met  *metrics.Process
+// DefaultConfig returns the paper's §4.1 platform.
+func DefaultConfig() Config { return exec.DefaultConfig() }
 
-	// look is the lookahead FIFO of fetched-but-unexecuted records;
-	// head indexes the next record to execute.
-	look []trace.Record
-	head int
-	// drained means the generator is exhausted.
-	drained bool
-
-	sliceLeft sim.Time
-	// instCarry holds leftover instructions that didn't fill a whole
-	// nanosecond at InstPerNs.
-	instCarry uint64
-	// blockedAt is when the process blocked on asynchronous I/O;
-	// wasBlocked makes the next dispatch charge the block→dispatch span
-	// as storage-induced stall.
-	blockedAt  sim.Time
-	wasBlocked bool
-	// gapPaid marks that the head record's compute gap has been charged,
-	// so a faulting access retried after an asynchronous block does not
-	// pay (or count) its gap twice.
-	gapPaid bool
-}
-
-type inflightKey struct {
-	pid  int
-	page uint64
-}
-
-// Machine is one simulated platform executing one batch under one policy.
+// Machine is one simulated platform executing one batch under one policy:
+// the single core of a shared exec platform.
 type Machine struct {
-	cfg Config
-	pol policy.Policy
-
-	eng *sim.Engine
-	sch *sched.RR
-	krn *kernel.Kernel
-	l1  *cache.Cache
-	llc *cache.Cache
-	px  *preexec.Engine
-	tlb *cpu.TLB
-
-	procs []*proc
-	run   *metrics.Run
-
-	inflight map[inflightKey]sim.Time
-	// lastOnCPU tracks the process whose context the CPU holds, for
-	// context-switch charging.
-	lastOnCPU int
-	// lastPXPid tracks whose pre-execute state the hardware holds.
-	lastPXPid int
-
-	// trc is the user tracer (nil = tracing off); aud is the always-on
-	// accounting auditor. want caches, per event type, whether either
-	// consumer would accept it, so untraced emission sites cost one
-	// array load and branch.
-	trc  *obs.Tracer
-	aud  *obs.Auditor
-	want [obs.NumTypes]bool
-	// gaugeEvery is the virtual-time gauge sampling interval (0 = off).
-	gaugeEvery sim.Time
-	// dispatchedAt is when the current dispatch put its process on the
-	// CPU, for occupancy reporting on leave events.
-	dispatchedAt sim.Time
+	s    *exec.Shared
+	core *exec.Core
 }
 
 // New builds a machine for the given specs and policy. batchName labels the
@@ -318,142 +70,13 @@ func New(cfg Config, pol policy.Policy, batchName string, specs []ProcessSpec) *
 	if len(specs) == 0 {
 		panic("machine: no processes")
 	}
-	if cfg.InstPerNs <= 0 {
-		cfg.InstPerNs = DefaultInstPerNs
+	s, err := exec.NewShared(cfg, []policy.Policy{pol}, batchName, specs, false)
+	if err != nil {
+		// Unreachable on the paper's geometries: the pre-execute
+		// way-partition clamping keeps 1 ≤ pxWays < LLCWays at one core.
+		panic(err)
 	}
-	if cfg.Lookahead <= 0 {
-		cfg.Lookahead = DefaultLookahead
-	}
-	if cfg.DRAMRatio <= 0 {
-		cfg.DRAMRatio = 0.75
-	}
-
-	llcSize := cfg.LLCSize
-	llcWays := cfg.LLCWays
-	var px *preexec.Engine
-	if pol.Kind().NeedsPreExecCache() {
-		// Partition by ways (as real cache partitioning does): the set
-		// count stays constant and power-of-two for both halves.
-		pxWays, shareWays, err := cfg.PreExecPartition(1)
-		if err != nil {
-			panic(err) // unreachable: clamping keeps 1 ≤ pxWays < LLCWays
-		}
-		sets := cfg.LLCSize / (cfg.LineBytes * cfg.LLCWays)
-		pxSize := pxWays * sets * cfg.LineBytes
-		llcSize = cfg.LLCSize - pxSize
-		llcWays = shareWays
-		px = preexec.New(cpu.NewPreExecCache(cache.Config{
-			SizeBytes: pxSize,
-			LineBytes: cfg.LineBytes,
-			Ways:      pxWays,
-		}))
-	}
-
-	frames := cfg.DRAMFrames
-	if frames == 0 {
-		var pages uint64
-		for _, s := range specs {
-			pages += trace.FootprintPages(s.Gen.FootprintBytes())
-		}
-		frames = int(cfg.DRAMRatio * float64(pages))
-	}
-	if frames < 64 {
-		frames = 64
-	}
-
-	link := bus.New(cfg.BusLanes, cfg.LaneBandwidth)
-	dev := storage.New(cfg.Device, link)
-	m := &Machine{
-		cfg:       cfg,
-		pol:       pol,
-		eng:       &sim.Engine{},
-		sch:       sched.New(),
-		krn:       kernel.New(mem.NewDRAM(frames, cfg.Replacement), dev),
-		l1:        cache.New(cache.Config{SizeBytes: cfg.L1Size, LineBytes: cfg.LineBytes, Ways: cfg.L1Ways}),
-		llc:       cache.New(cache.Config{SizeBytes: llcSize, LineBytes: cfg.LineBytes, Ways: llcWays}),
-		px:        px,
-		run:       metrics.NewRun(pol.Name(), batchName),
-		inflight:  make(map[inflightKey]sim.Time),
-		lastOnCPU: -1,
-		lastPXPid: -1,
-		aud:       obs.NewAuditor(),
-	}
-	for i := range m.want {
-		m.want[i] = m.aud.Wants(obs.Type(i))
-	}
-
-	if cfg.StrictPriority {
-		m.sch.SetStrictPriority(true)
-	}
-	if cfg.TLBEntries > 0 {
-		m.tlb = cpu.NewTLB(cfg.TLBEntries)
-		if m.cfg.TLBMissCost <= 0 {
-			m.cfg.TLBMissCost = 25 * sim.Nanosecond
-		}
-	}
-
-	if cfg.MinSlice > 0 || cfg.MaxSlice > 0 {
-		minS, maxS := cfg.MinSlice, cfg.MaxSlice
-		if minS <= 0 {
-			minS = sched.MinSlice
-		}
-		if maxS <= 0 {
-			maxS = sched.MaxSlice
-		}
-		m.sch.SetSliceRange(minS, maxS)
-	}
-
-	for pid, s := range specs {
-		s.Gen.Reset()
-		p := &proc{pid: pid, spec: s, met: m.run.AddProcess(pid, s.Name, s.Priority)}
-		m.procs = append(m.procs, p)
-		m.krn.AddProcess(pid, s.Name, s.Priority)
-		m.krn.MapRegion(pid, s.BaseVA, s.Gen.FootprintBytes())
-		m.sch.Add(pid, s.Priority)
-	}
-	m.warmStart(cfg.WarmFraction, frames)
-	return m
-}
-
-// warmSetter is implemented by workloads that can enumerate their working
-// set (hottest pages first) for warm-starting DRAM.
-type warmSetter interface {
-	WarmPages(maxPages int) []uint64
-}
-
-// warmStart pre-loads each process's hottest pages into DRAM, fair-share,
-// so the run begins in the steady multiprogrammed state the paper measures.
-func (m *Machine) warmStart(fraction float64, frames int) {
-	if fraction < 0 {
-		return
-	}
-	if fraction == 0 {
-		fraction = 0.85
-	}
-	if fraction > 1 {
-		fraction = 1
-	}
-	budget := int(fraction * float64(frames) / float64(len(m.procs)))
-	if budget <= 0 {
-		return
-	}
-	for _, p := range m.procs {
-		ws, ok := p.spec.Gen.(warmSetter)
-		if !ok {
-			continue
-		}
-		as := m.krn.Process(p.pid).AS
-		for _, va := range ws.WarmPages(budget) {
-			if pte, found := as.Lookup(va); found && pte.Present() {
-				continue
-			}
-			id, free := m.krn.DRAM().Allocate(p.pid, va, false)
-			if !free {
-				return // DRAM full: warm-start ends here
-			}
-			as.MakePresent(va, uint64(id))
-		}
-	}
+	return &Machine{s: s, core: s.Cores[0]}
 }
 
 // Instrument attaches an event tracer and, when gaugeEvery > 0, a periodic
@@ -461,655 +84,62 @@ func (m *Machine) warmStart(fraction float64, frames int) {
 // leaves tracing off (the accounting auditor still runs — it is part of the
 // machine, not of tracing).
 func (m *Machine) Instrument(trc *obs.Tracer, gaugeEvery sim.Time) {
-	m.trc = trc
-	m.gaugeEvery = gaugeEvery
-	m.krn.SetTracer(trc)
-	if trc.Wants(obs.EvUnblock) {
-		m.sch.SetObserver(func(pid int, from, to sched.State) {
-			if from == sched.Blocked && to == sched.Ready {
-				m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvUnblock, PID: pid})
-			}
-		})
-	}
-	for i := range m.want {
-		m.want[i] = m.aud.Wants(obs.Type(i)) || trc.Wants(obs.Type(i))
-	}
+	m.s.Instrument(trc, gaugeEvery)
 }
 
 // Auditor exposes the machine's accounting auditor (tests, tools).
-func (m *Machine) Auditor() *obs.Auditor { return m.aud }
-
-// emit routes one event to the auditor and the tracer. Emission sites guard
-// with m.want first so disabled types cost no event construction.
-func (m *Machine) emit(ev obs.Event) {
-	if m.aud.Wants(ev.Type) {
-		m.aud.Write(ev)
-	}
-	m.trc.Emit(ev)
-}
-
-// scheduleGauges starts the periodic gauge sampler when enabled. Each tick
-// emits counter events for the run-introspection quantities the aggregate
-// metrics cannot show over time: ready-queue depth, outstanding swap-ins,
-// LLC and pre-execute-cache occupancy, and busy storage channels.
-func (m *Machine) scheduleGauges() {
-	if m.gaugeEvery <= 0 || !m.want[obs.EvGauge] {
-		return
-	}
-	var tick func(now sim.Time)
-	tick = func(now sim.Time) {
-		m.emitGauges(now)
-		if m.sch.Alive() > 0 {
-			m.eng.Schedule(now+m.gaugeEvery, tick)
-		}
-	}
-	m.eng.Schedule(m.eng.Now()+m.gaugeEvery, tick)
-}
-
-func (m *Machine) emitGauges(now sim.Time) {
-	g := func(name string, v int64) {
-		m.emit(obs.Event{Time: now, Type: obs.EvGauge, PID: -1, Cause: name, Value: v})
-	}
-	g("ready_queue_depth", int64(m.sch.Runnable()))
-	g("outstanding_swapins", int64(len(m.inflight)))
-	g("llc_lines", int64(m.llc.ValidLines()))
-	if m.px != nil {
-		g("preexec_cache_lines", int64(m.px.PXC.ValidLines()))
-	}
-	g("busy_storage_channels", int64(m.krn.Device().BusyChannelsAt(now)))
-}
+func (m *Machine) Auditor() *obs.Auditor { return m.core.Aud }
 
 // Kernel exposes the kernel for inspection (tests, tools).
-func (m *Machine) Kernel() *kernel.Kernel { return m.krn }
+func (m *Machine) Kernel() *kernel.Kernel { return m.s.Krn }
 
 // LLC exposes the last-level cache for inspection.
-func (m *Machine) LLC() *cache.Cache { return m.llc }
+func (m *Machine) LLC() *cache.Cache { return m.s.LLC }
 
 // Scheduler exposes the scheduler for inspection.
-func (m *Machine) Scheduler() *sched.RR { return m.sch }
+func (m *Machine) Scheduler() *sched.RR { return m.core.Sch }
 
 // Now returns the current virtual time.
-func (m *Machine) Now() sim.Time { return m.eng.Now() }
-
-// tagged folds the pid into the address's upper bits so per-process virtual
-// addresses share the physically-indexed caches without aliasing.
-func tagged(pid int, addr uint64) uint64 {
-	return addr&(1<<pagetable.VABits-1) | uint64(pid+1)<<pagetable.VABits
-}
+func (m *Machine) Now() sim.Time { return m.core.Eng.Now() }
 
 // Run executes every process to completion and returns the metrics. The
 // always-on accounting auditor checks time conservation and monotonic
 // virtual time as the run executes; a violation fails the run loudly.
 func (m *Machine) Run() (*metrics.Run, error) {
-	m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvRunBegin, PID: -1,
-		Cause: m.run.Policy + "/" + m.run.Batch})
-	m.scheduleGauges()
-	for m.sch.Alive() > 0 {
-		if m.cfg.MaxSimTime > 0 && m.eng.Now() > m.cfg.MaxSimTime {
-			return m.run, fmt.Errorf("machine: exceeded max simulated time %v", m.cfg.MaxSimTime)
+	s, c := m.s, m.core
+	c.Emit(obs.Event{Time: c.Eng.Now(), Type: obs.EvRunBegin, PID: -1,
+		Cause: s.Run.Policy + "/" + s.Run.Batch})
+	s.ScheduleGauges()
+	for c.Sch.Alive() > 0 {
+		if s.Cfg.MaxSimTime > 0 && c.Eng.Now() > s.Cfg.MaxSimTime {
+			return s.Run, fmt.Errorf("machine: exceeded max simulated time %v", s.Cfg.MaxSimTime)
 		}
-		pid := m.sch.PickNext()
+		pid := c.Sch.PickNext()
 		if pid == -1 {
 			// Everyone is blocked on asynchronous I/O: the CPU sits
 			// idle waiting for storage. The idle-begin event must go out
 			// before StepOne — events fired inside carry later times.
-			t0 := m.eng.Now()
-			if m.want[obs.EvSchedIdleBegin] {
-				m.emit(obs.Event{Time: t0, Type: obs.EvSchedIdleBegin, PID: -1})
+			t0 := c.Eng.Now()
+			if s.Want[obs.EvSchedIdleBegin] {
+				c.Emit(obs.Event{Time: t0, Type: obs.EvSchedIdleBegin, PID: -1})
 			}
-			if !m.eng.StepOne() {
-				return m.run, fmt.Errorf("machine: deadlock — no runnable process and no pending event at %v", t0)
+			if !c.Eng.StepOne() {
+				return s.Run, fmt.Errorf("machine: deadlock — no runnable process and no pending event at %v", t0)
 			}
-			m.run.SchedulerIdle += m.eng.Now() - t0
-			if m.want[obs.EvSchedIdleEnd] {
-				m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvSchedIdleEnd, PID: -1})
+			s.Run.SchedulerIdle += c.Eng.Now() - t0
+			if s.Want[obs.EvSchedIdleEnd] {
+				c.Emit(obs.Event{Time: c.Eng.Now(), Type: obs.EvSchedIdleEnd, PID: -1})
 			}
 			continue
 		}
-		p := m.procs[pid]
-		if p.wasBlocked {
-			wait := m.eng.Now() - p.blockedAt
-			p.met.BlockedWait += wait
-			m.run.BlockedHist.Observe(wait)
-			p.wasBlocked = false
-		}
-		m.lastOnCPU = pid
-		p.sliceLeft = m.sch.SliceFor(pid)
-		m.dispatchedAt = m.eng.Now()
-		if m.want[obs.EvDispatch] {
-			m.emit(obs.Event{Time: m.dispatchedAt, Type: obs.EvDispatch, PID: pid,
-				Cause: p.spec.Name, Value: int64(p.spec.Priority)})
-		}
-		m.runProcess(p)
+		c.Dispatch(pid)
+		c.RunUntil(exec.Never)
 	}
-	m.run.Makespan = m.eng.Now()
-	m.emit(obs.Event{Time: m.run.Makespan, Type: obs.EvRunEnd, PID: -1})
-	m.eng.RunUntilIdle() // drain trailing prefetch/write-back completions
-	if err := m.aud.Err(); err != nil {
-		return m.run, fmt.Errorf("machine: accounting audit failed: %w", err)
+	s.Run.Makespan = c.Eng.Now()
+	c.Emit(obs.Event{Time: s.Run.Makespan, Type: obs.EvRunEnd, PID: -1})
+	c.Eng.RunUntilIdle() // drain trailing prefetch/write-back completions
+	if err := c.Aud.Err(); err != nil {
+		return s.Run, fmt.Errorf("machine: accounting audit failed: %w", err)
 	}
-	return m.run, nil
-}
-
-// runProcess executes p until it blocks, exhausts its slice, or finishes.
-func (m *Machine) runProcess(p *proc) {
-	for {
-		rec, ok := m.peek(p, 0)
-		if !ok {
-			p.met.FinishTime = m.eng.Now()
-			p.met.Finished = true
-			m.sch.Finish(p.pid)
-			if m.want[obs.EvProcFinish] {
-				m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvProcFinish, PID: p.pid,
-					Dur: m.eng.Now() - m.dispatchedAt})
-			}
-			if m.eng.Now() > m.run.Makespan {
-				m.run.Makespan = m.eng.Now()
-			}
-			if m.sch.Alive() > 0 {
-				m.chargeSwitch(p)
-			}
-			return
-		}
-		// Compute gap (once per record, even across fault retries).
-		if rec.Gap > 0 && !p.gapPaid {
-			p.instCarry += uint64(rec.Gap)
-			d := sim.Time(p.instCarry / uint64(m.cfg.InstPerNs))
-			p.instCarry %= uint64(m.cfg.InstPerNs)
-			if d > 0 {
-				m.advance(p, d)
-			}
-			p.met.Instructions += uint64(rec.Gap)
-		}
-		p.gapPaid = true
-		// The access itself (may busy-wait or block).
-		blocked := m.access(p, rec)
-		if blocked {
-			return
-		}
-		p.met.Instructions++
-		m.pop(p)
-		// Slice accounting: RR rotates only when someone else is ready.
-		if p.sliceLeft <= 0 {
-			// Re-check the runaway guard at slice boundaries too, so a
-			// lone process cannot run unbounded inside one dispatch.
-			if m.cfg.MaxSimTime > 0 && m.eng.Now() > m.cfg.MaxSimTime {
-				m.sch.Expire(p.pid)
-				return
-			}
-			if m.want[obs.EvSliceExpiry] {
-				m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvSliceExpiry, PID: p.pid})
-			}
-			if m.sch.Runnable() > 0 {
-				m.sch.Expire(p.pid)
-				if m.want[obs.EvPreempt] {
-					m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvPreempt, PID: p.pid,
-						Dur: m.eng.Now() - m.dispatchedAt})
-				}
-				m.chargeSwitch(p)
-				return
-			}
-			p.sliceLeft = m.sch.SliceFor(p.pid)
-		}
-	}
-}
-
-// chargeSwitch charges the 7 µs context switch paid whenever the CPU leaves
-// a process (block, slice expiry, exit with successors). Dispatching the
-// next process is covered by this single save+restore charge, matching the
-// paper's one-switch-per-transition accounting.
-func (m *Machine) chargeSwitch(p *proc) {
-	m.run.ContextSwitchTime += kernel.ContextSwitchCost
-	p.met.ContextSwitches++
-	cost := kernel.ContextSwitchCost + kernel.SwitchPollutionCost
-	if m.tlb != nil {
-		// Mechanistic mode: the switch flushes the TLB; the pollution
-		// cost emerges from the subsequent misses instead of a
-		// constant.
-		m.tlb.Flush()
-		cost = kernel.ContextSwitchCost
-	}
-	m.advance(nil, cost)
-	if m.tlb == nil {
-		// The pollution tail (TLB shootdown, re-missing hot cache lines,
-		// §2.1.1) surfaces as memory stall.
-		p.met.MemStall += kernel.SwitchPollutionCost
-	}
-	if m.want[obs.EvContextSwitch] {
-		// Dur is the full clock advance (switch plus pollution tail) so
-		// the auditor's time-conservation ledger balances.
-		m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvContextSwitch, PID: p.pid, Dur: cost})
-	}
-}
-
-// peek returns the i-th unexecuted record (0 = next), refilling the
-// lookahead buffer from the generator. Peeks beyond the configured
-// lookahead window report end-of-window: the pre-execute engine's visibility
-// is bounded by the hardware instruction window it models.
-func (m *Machine) peek(p *proc, i int) (trace.Record, bool) {
-	if i >= m.cfg.Lookahead {
-		return trace.Record{}, false
-	}
-	for !p.drained && len(p.look)-p.head <= i {
-		var r trace.Record
-		if !p.spec.Gen.Next(&r) {
-			p.drained = true
-			break
-		}
-		p.look = append(p.look, r)
-	}
-	if p.head+i < len(p.look) {
-		return p.look[p.head+i], true
-	}
-	return trace.Record{}, false
-}
-
-// pop consumes the head record, compacting the buffer periodically.
-func (m *Machine) pop(p *proc) {
-	p.gapPaid = false
-	p.head++
-	if p.head >= 4096 && p.head*2 >= len(p.look) {
-		p.look = append(p.look[:0], p.look[p.head:]...)
-		p.head = 0
-	}
-}
-
-// advance moves virtual time forward by d (firing due events) and charges
-// p's slice and CPU-occupancy time.
-func (m *Machine) advance(p *proc, d sim.Time) {
-	if d <= 0 {
-		return
-	}
-	m.eng.AdvanceTo(m.eng.Now() + d)
-	if p != nil {
-		p.sliceLeft -= d
-		p.met.CPUTime += d
-	}
-}
-
-// access performs one memory access for p. It returns true when the process
-// blocked (asynchronous fault) and execution must leave runProcess; the
-// faulting record stays at the head for retry on wake-up.
-func (m *Machine) access(p *proc, rec trace.Record) (blockedOut bool) {
-	write := rec.Kind == trace.Store
-	for {
-		tr, _, prefHit := m.krn.Translate(p.pid, rec.Addr, write)
-		if tr == kernel.Present {
-			if prefHit {
-				// Swap-cache hit on a prefetched page: minor fault.
-				p.met.MinorFaults++
-				p.met.PrefetchUseful++
-				if m.want[obs.EvPrefetchHit] {
-					m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvPrefetchHit,
-						PID: p.pid, VA: rec.Addr})
-				}
-				m.advance(p, kernel.MinorFaultCost)
-				m.krn.ChargeHandler(kernel.MinorFaultCost)
-				m.run.FaultHandlerTime += kernel.MinorFaultCost
-			}
-			m.cacheAccess(p, rec.Addr)
-			return false
-		}
-		// Major fault.
-		if m.majorFault(p, rec) {
-			return true
-		}
-		// Synchronous completion: retry the translation.
-	}
-}
-
-// cacheAccess charges the (TLB →) L1 → LLC → DRAM path.
-func (m *Machine) cacheAccess(p *proc, addr uint64) {
-	key := tagged(p.pid, addr)
-	if m.tlb != nil && !m.tlb.Lookup(key>>pagetable.PageShift) {
-		// TLB miss: the hardware walker re-reads the page tables.
-		m.advance(p, m.cfg.TLBMissCost)
-		p.met.MemStall += m.cfg.TLBMissCost
-	}
-	if m.l1.Access(key) {
-		m.advance(p, m.cfg.L1Hit)
-		return
-	}
-	p.met.LLCAccesses++
-	if m.llc.Access(key) {
-		m.advance(p, m.cfg.L1Hit+m.cfg.LLCHit)
-		// The LLC-hit service time is still the CPU waiting on the
-		// memory hierarchy (paper: idle accrues "during the cache
-		// misses"), here an L1 miss served by the LLC.
-		p.met.MemStall += m.cfg.LLCHit
-		m.l1.Fill(key)
-		return
-	}
-	p.met.LLCMisses++
-	stall := m.cfg.L1Hit + m.cfg.LLCHit + mem.AccessLatency
-	m.advance(p, stall)
-	p.met.MemStall += m.cfg.LLCHit + mem.AccessLatency
-	m.llcFill(key)
-	m.l1.Fill(key)
-}
-
-// llcFill installs a line in the LLC, back-invalidating the displaced
-// victim from the L1 (inclusive hierarchy: a line evicted from the LLC
-// cannot stay live in an inner cache).
-func (m *Machine) llcFill(key uint64) {
-	if victim, ok := m.llc.Fill(key); ok {
-		m.l1.Invalidate(m.llc.AddrOf(victim))
-	}
-}
-
-// swapKind distinguishes why a page is being swapped in.
-type swapKind uint8
-
-const (
-	// swapDemand is the faulting page itself.
-	swapDemand swapKind = iota
-	// swapPrefetch is a prefetcher candidate (counted in prefetch
-	// metrics; first victim under pressure).
-	swapPrefetch
-	// swapCluster is a sibling page of a huge-I/O cluster fault (not a
-	// prefetch for metrics purposes, not separately a major fault).
-	swapCluster
-)
-
-// ensureSwapIn starts (or joins) the swap-in of (pid, page-of-va) and
-// returns its completion time. Completion side effects (page-table update,
-// unpin, inflight cleanup) run as an event at that time.
-func (m *Machine) ensureSwapIn(p *proc, va uint64, kind swapKind) sim.Time {
-	page := va &^ uint64(pagetable.PageSize-1)
-	key := inflightKey{pid: p.pid, page: page}
-	if done, ok := m.inflight[key]; ok {
-		return done
-	}
-	// A page picked as a prefetch candidate can become resident before the
-	// candidates are issued (an earlier swap-in completing during the
-	// dispatch/walk time); treat that as already done.
-	if pte, ok := m.krn.Process(p.pid).AS.Lookup(page); ok && pte.Present() {
-		return m.eng.Now()
-	}
-	out := m.krn.StartSwapIn(m.eng.Now(), p.pid, page, kind != swapDemand)
-	m.inflight[key] = out.Done
-	frame := out.Frame
-	m.eng.Schedule(out.Done, func(sim.Time) {
-		m.krn.CompleteSwapIn(p.pid, page, frame)
-		delete(m.inflight, key)
-	})
-	if kind == swapPrefetch {
-		p.met.PrefetchIssued++
-		if m.want[obs.EvPrefetchIssue] {
-			m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvPrefetchIssue,
-				PID: p.pid, VA: page, Dur: out.Done - m.eng.Now()})
-		}
-	}
-	return out.Done
-}
-
-// clusterSwapIn fetches the swapped-out siblings of va's aligned
-// SwapClusterPages-page cluster, returning the last completion time.
-func (m *Machine) clusterSwapIn(p *proc, va uint64) sim.Time {
-	cluster := uint64(m.cfg.SwapClusterPages) * pagetable.PageSize
-	base := va &^ (cluster - 1)
-	victim := va &^ uint64(pagetable.PageSize-1)
-	as := m.krn.Process(p.pid).AS
-	var last sim.Time
-	for pv := base; pv < base+cluster; pv += pagetable.PageSize {
-		if pv == victim {
-			continue
-		}
-		if pte, ok := as.Lookup(pv); !ok || !pte.Swapped() {
-			continue
-		}
-		if d := m.ensureSwapIn(p, pv, swapCluster); d > last {
-			last = d
-		}
-	}
-	return last
-}
-
-// tryPrefetch starts the swap-in of a prefetch candidate, subject to device
-// admission control: if the page's channel is busy the candidate is dropped
-// (readahead throttling), so demand reads never queue behind a prefetch
-// flood.
-func (m *Machine) tryPrefetch(p *proc, va uint64) {
-	page := va &^ uint64(pagetable.PageSize-1)
-	if _, busy := m.inflight[inflightKey{pid: p.pid, page: page}]; busy {
-		return
-	}
-	pte, ok := m.krn.Process(p.pid).AS.Lookup(page)
-	if !ok || !pte.Swapped() {
-		return
-	}
-	if !m.krn.Device().FreeChannelAt(pte.Frame(), m.eng.Now()) {
-		p.met.PrefetchDropped++
-		if m.want[obs.EvPrefetchDrop] {
-			m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvPrefetchDrop, PID: p.pid, VA: page})
-		}
-		return
-	}
-	m.ensureSwapIn(p, page, swapPrefetch)
-}
-
-// majorFault runs the paper's Figure 1 flow for one major fault. It returns
-// true when the process blocked (async mode).
-func (m *Machine) majorFault(p *proc, rec trace.Record) (blocked bool) {
-	// The begin event goes out at entry, before any cost is charged: the
-	// policy decision (and thus the handling mode) is only known later, so
-	// the mode rides on the matching end event.
-	faultStart := m.eng.Now()
-	if m.want[obs.EvMajorFaultBegin] {
-		m.emit(obs.Event{Time: faultStart, Type: obs.EvMajorFaultBegin, PID: p.pid, VA: rec.Addr})
-	}
-	p.met.MajorFaults++
-	m.advance(p, kernel.FaultEntryCost)
-	m.krn.ChargeHandler(kernel.FaultEntryCost)
-	m.run.FaultHandlerTime += kernel.FaultEntryCost
-
-	ctx := policy.Context{
-		Now:         m.eng.Now(),
-		PID:         p.pid,
-		VA:          rec.Addr,
-		AS:          m.krn.Process(p.pid).AS,
-		CurPriority: p.spec.Priority,
-	}
-	if next := m.sch.NextToRun(); next != -1 {
-		ctx.HasNext = true
-		ctx.NextPriority = m.procs[next].spec.Priority
-	}
-	d := m.pol.Decide(&ctx)
-	if d.DispatchCost > 0 {
-		m.advance(p, d.DispatchCost)
-		m.krn.ChargeHandler(d.DispatchCost)
-		m.run.FaultHandlerTime += d.DispatchCost
-	}
-
-	// Start the victim page's DMA first (it is the critical path), then
-	// issue prefetches so they queue behind it.
-	done := m.ensureSwapIn(p, rec.Addr, swapDemand)
-	// Huge-I/O clusters: the fault fetches the whole aligned cluster and
-	// waits for all of it (§1's "larger I/O sizes").
-	if m.cfg.SwapClusterPages > 1 {
-		if d2 := m.clusterSwapIn(p, rec.Addr); d2 > done {
-			done = d2
-		}
-	}
-
-	if d.Mode == policy.AsyncBlock {
-		for _, pv := range d.Prefetch {
-			m.tryPrefetch(p, pv)
-		}
-		m.sch.Block(p.pid)
-		p.blockedAt = m.eng.Now()
-		p.wasBlocked = true
-		if m.want[obs.EvBlock] {
-			m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvBlock, PID: p.pid,
-				VA: rec.Addr, Dur: m.eng.Now() - m.dispatchedAt})
-		}
-		m.scheduleFaultEnd(p, rec.Addr, faultStart, done, "async")
-		// Wake up when the page lands (after the completion event at
-		// the same timestamp, thanks to FIFO event ordering).
-		m.eng.Schedule(done, func(sim.Time) { m.sch.Unblock(p.pid) })
-		// Switching away is the asynchronous mode's price: 7 µs of pure
-		// state movement — longer than the ULL I/O itself.
-		m.chargeSwitch(p)
-		return true
-	}
-
-	// Hybrid polling (Spin_Block): if the I/O will outlive the spin
-	// threshold, burn the threshold busy-waiting and then block for the
-	// remainder.
-	if d.SpinThreshold > 0 && done-m.eng.Now() > d.SpinThreshold {
-		p.met.StorageWait += d.SpinThreshold
-		m.advance(p, d.SpinThreshold)
-		m.sch.Block(p.pid)
-		p.blockedAt = m.eng.Now()
-		p.wasBlocked = true
-		if m.want[obs.EvBlock] {
-			m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvBlock, PID: p.pid,
-				VA: rec.Addr, Dur: m.eng.Now() - m.dispatchedAt})
-		}
-		m.scheduleFaultEnd(p, rec.Addr, faultStart, done, "spin")
-		m.eng.Schedule(done, func(sim.Time) { m.sch.Unblock(p.pid) })
-		m.chargeSwitch(p)
-		return true
-	}
-
-	// Synchronous busy-wait. The whole window is storage-induced stall
-	// for this process (its own progress is paused even while ITS steals
-	// the cycles for prefetching/pre-execution).
-	windowStart := m.eng.Now()
-	if w := done - windowStart; w > 0 {
-		p.met.StorageWait += w
-		m.run.SyncWaitHist.Observe(w)
-	}
-	if d.PrefetchWalkCost > 0 {
-		walk := d.PrefetchWalkCost
-		if rem := done - m.eng.Now(); walk > rem && rem > 0 {
-			walk = rem // the walk cannot usefully exceed the wait
-		}
-		m.advance(p, walk)
-		p.met.StolenPrefetch += walk
-		if m.want[obs.EvPrefetchWalk] {
-			m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvPrefetchWalk, PID: p.pid,
-				Dur: walk, Value: int64(d.PrefetchScanned)})
-		}
-	}
-	for _, pv := range d.Prefetch {
-		m.tryPrefetch(p, pv)
-	}
-	preexecuted := false
-	if d.PreExecute && m.px != nil {
-		window := done - m.eng.Now()
-		if window > 0 {
-			m.preExecute(p, rec, window)
-			preexecuted = true
-		}
-	}
-	if rem := done - m.eng.Now(); rem > 0 {
-		m.advance(p, rem)
-	}
-	if preexecuted {
-		m.endRecovery(p, windowStart, done)
-	}
-	if m.want[obs.EvMajorFaultEnd] {
-		m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvMajorFaultEnd, PID: p.pid,
-			VA: rec.Addr, Dur: m.eng.Now() - faultStart, Cause: "sync"})
-	}
-	return false
-}
-
-// scheduleFaultEnd arranges the EvMajorFaultEnd of an asynchronous or
-// spin-then-block fault to fire when its DMA lands, keeping the event stream
-// monotonic while other processes run inside the window.
-func (m *Machine) scheduleFaultEnd(p *proc, va uint64, faultStart, done sim.Time, mode string) {
-	if !m.want[obs.EvMajorFaultEnd] {
-		return
-	}
-	m.eng.Schedule(done, func(now sim.Time) {
-		m.emit(obs.Event{Time: now, Type: obs.EvMajorFaultEnd, PID: p.pid,
-			VA: va, Dur: now - faultStart, Cause: mode})
-	})
-}
-
-// endRecovery applies the §3.4.3 termination mode after a pre-execution
-// episode: an interrupt-driven DMA completion costs InterruptCost; a polling
-// timer makes the process resume at the first tick after the DMA landed,
-// overshooting by up to one poll interval.
-func (m *Machine) endRecovery(p *proc, windowStart, done sim.Time) {
-	if m.cfg.RecoveryPoll <= 0 {
-		m.advance(p, InterruptCost)
-		p.met.RecoveryOverhead += InterruptCost
-		m.krn.ChargeHandler(InterruptCost)
-		m.run.FaultHandlerTime += InterruptCost
-		if m.want[obs.EvRecovery] {
-			m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvRecovery, PID: p.pid,
-				Dur: InterruptCost, Cause: "interrupt"})
-		}
-		return
-	}
-	elapsed := done - windowStart
-	over := (m.cfg.RecoveryPoll - elapsed%m.cfg.RecoveryPoll) % m.cfg.RecoveryPoll
-	if over > 0 {
-		m.advance(p, over)
-		p.met.RecoveryOverhead += over
-		p.met.StorageWait += over
-	}
-	if m.want[obs.EvRecovery] {
-		m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvRecovery, PID: p.pid,
-			Dur: over, Cause: "poll"})
-	}
-}
-
-// preExecute runs the fault-aware pre-execute engine during a synchronous
-// wait window.
-func (m *Machine) preExecute(p *proc, faulting trace.Record, window sim.Time) {
-	if m.lastPXPid != p.pid {
-		m.px.FlushHardware()
-		m.lastPXPid = p.pid
-	}
-	as := m.krn.Process(p.pid).AS
-	env := preexec.Env{
-		Lookahead: func(i int) (trace.Record, bool) {
-			return m.peek(p, 1+i)
-		},
-		PagePresent: func(va uint64) bool {
-			pte, ok := as.Lookup(va)
-			return ok && pte.Present()
-		},
-		PTEINV: func(va uint64) bool {
-			pte, ok := as.Lookup(va)
-			return ok && pte.INV()
-		},
-		SetPTEINV: func(va uint64) {
-			as.Update(va, func(e pagetable.PTE) pagetable.PTE { return e | pagetable.FlagINV })
-		},
-		LLCContains: func(addr uint64) bool {
-			return m.llc.Contains(tagged(p.pid, addr))
-		},
-		LLCFill: func(addr uint64) {
-			m.llcFill(tagged(p.pid, addr))
-			// The fill reads DRAM: reference the backing frame so
-			// CLOCK sees the page as live (pre-execution protects
-			// the pages it warms).
-			if pte, ok := as.Lookup(addr); ok && pte.Present() {
-				m.krn.DRAM().Touch(mem.FrameID(pte.Frame()), false)
-			}
-		},
-		ClearPTEINV: func(va uint64) {
-			as.Update(va, func(e pagetable.PTE) pagetable.PTE { return e &^ pagetable.FlagINV })
-		},
-		FaultVA:  faulting.Addr,
-		FaultDst: faulting.Dst,
-	}
-	res := m.px.Run(window, env)
-	if res.Used > 0 {
-		m.advance(p, res.Used)
-		p.met.StolenPreexec += res.Used - res.Overhead
-		p.met.RecoveryOverhead += res.Overhead
-	}
-	p.met.PreexecInstrs += res.Instrs
-	p.met.PreexecValid += res.Valid
-	p.met.PreexecFills += res.Fills
-	if m.want[obs.EvPreexecWindow] {
-		m.emit(obs.Event{Time: m.eng.Now(), Type: obs.EvPreexecWindow, PID: p.pid,
-			Dur: res.Used, Value: int64(res.Instrs)})
-	}
+	return s.Run, nil
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"itsim/internal/exec"
 	"itsim/internal/kernel"
 	"itsim/internal/metrics"
 	"itsim/internal/policy"
@@ -284,10 +285,10 @@ func TestNoProcessesPanics(t *testing.T) {
 }
 
 func TestTaggedAddressesIsolateProcesses(t *testing.T) {
-	if tagged(0, 0x1000) == tagged(1, 0x1000) {
+	if exec.Tagged(0, 0x1000) == exec.Tagged(1, 0x1000) {
 		t.Fatal("same VA in different processes aliases in the cache")
 	}
-	if tagged(3, 0x1000)&(1<<48-1) != 0x1000 {
+	if exec.Tagged(3, 0x1000)&(1<<48-1) != 0x1000 {
 		t.Fatal("tagging corrupted the address bits")
 	}
 }
@@ -555,7 +556,7 @@ func TestPreExecCacheFractionPartitionsWays(t *testing.T) {
 		specs[0].Gen.Reset()
 		m := New(cfg, policy.New(policy.SyncRunahead), "t", specs)
 		got := m.LLC().Config()
-		pxCfg := m.px.PXC.Config()
+		pxCfg := m.core.PX.PXC.Config()
 		if got.SizeBytes+pxCfg.SizeBytes != cfg.LLCSize {
 			t.Fatalf("frac %v: LLC %d + px %d != %d", frac, got.SizeBytes, pxCfg.SizeBytes, cfg.LLCSize)
 		}

@@ -5,6 +5,12 @@
 // ULL device whose channel and PCIe-link contention now comes from every
 // core at once.
 //
+// The per-record executor — dispatch, fault windows, prefetch,
+// pre-execution, swap-in management — lives in internal/exec and is shared
+// verbatim with the single-core machine; this package contributes only what
+// is inherently multi-core: the bounded-skew coordinator, work stealing,
+// and the pendingIO re-homing a steal requires.
+//
 // Each core advances on its own sim.Engine clock; a deterministic
 // coordinator repeatedly picks the core with the earliest next-event time
 // (ties broken by lowest core id) and steps it up to the next other-core
@@ -23,7 +29,9 @@
 // low-priority victim migrates to the idle core instead of blocking.
 //
 // With Cores=1 the coordinator degenerates exactly to the single-core
-// machine loop and produces identical metrics on the same seed.
+// machine loop and produces identical metrics on the same seed — not by
+// careful porting but structurally, because both instantiate the same
+// exec.Core.
 package smp
 
 import (
@@ -31,112 +39,23 @@ import (
 	"fmt"
 	"math"
 
-	"itsim/internal/bus"
 	"itsim/internal/cache"
-	"itsim/internal/cpu"
+	"itsim/internal/exec"
 	"itsim/internal/kernel"
 	"itsim/internal/machine"
-	"itsim/internal/mem"
 	"itsim/internal/metrics"
 	"itsim/internal/obs"
 	"itsim/internal/policy"
-	"itsim/internal/preexec"
-	"itsim/internal/sched"
 	"itsim/internal/sim"
-	"itsim/internal/storage"
-	"itsim/internal/trace"
 )
 
 // never is the parked-core sentinel: no local work at any future time.
 const never = sim.Time(math.MaxInt64)
 
-// proc is the per-process runtime state (the machine's, plus the owning
-// core and steal-eligibility bookkeeping).
-type proc struct {
-	pid  int
-	spec machine.ProcessSpec
-	met  *metrics.Process
-
-	// owner is the core whose runqueue currently holds the process.
-	owner int
-	// readyAt is when the process last became Ready (owner-core clock);
-	// a thief's clock jumps to at least this time before stealing.
-	readyAt sim.Time
-
-	// pending tracks this process's in-flight swap-in completions, which
-	// live on the owner core's engine and migrate with the process.
-	pending []*pendingIO
-
-	look    []trace.Record
-	head    int
-	drained bool
-
-	sliceLeft  sim.Time
-	instCarry  uint64
-	blockedAt  sim.Time
-	wasBlocked bool
-	gapPaid    bool
-}
-
-func (p *proc) dropPending(pio *pendingIO) {
-	for i, q := range p.pending {
-		if q == pio {
-			p.pending = append(p.pending[:i], p.pending[i+1:]...)
-			return
-		}
-	}
-}
-
-type inflightKey struct {
-	pid  int
-	page uint64
-}
-
-// pendingIO is one scheduled swap-in completion.
-type pendingIO struct {
-	key   inflightKey
-	frame mem.FrameID
-	done  sim.Time
-	ev    *sim.Event
-}
-
-// coreCPU is one simulated core: private engine/clock, L1, TLB, runqueue,
-// policy instance and pre-execute carve-out, plus an always-on accounting
-// auditor checking per-core time conservation.
-type coreCPU struct {
-	m   *Machine
-	id  int
-	eng *sim.Engine
-	sch *sched.RR
-	l1  *cache.Cache
-	tlb *cpu.TLB
-	px  *preexec.Engine
-	pol policy.Policy
-	aud *obs.Auditor
-	met *metrics.Core
-
-	// cur is the dispatched process; it stays dispatched across horizon
-	// pauses so a coordinator hand-off is not a spurious context switch.
-	cur          *proc
-	lastPXPid    int
-	dispatchedAt sim.Time
-}
-
-// Machine is the N-core platform executing one batch under one policy.
+// Machine is the N-core platform executing one batch under one policy: a
+// shared exec platform plus the coordinator state in this package.
 type Machine struct {
-	cfg   machine.Config
-	cores []*coreCPU
-	procs []*proc
-
-	krn *kernel.Kernel
-	llc *cache.Cache
-	run *metrics.Run
-
-	inflight map[inflightKey]sim.Time
-
-	trc        *obs.Tracer
-	want       [obs.NumTypes]bool
-	gaugeEvery sim.Time
+	s *exec.Shared
 }
 
 // New builds an N-core machine (N = cfg.Cores; 0 means 1). newPolicy must
@@ -156,250 +75,59 @@ func New(cfg machine.Config, newPolicy func() policy.Policy, batchName string, s
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if cfg.InstPerNs <= 0 {
-		cfg.InstPerNs = machine.DefaultInstPerNs
-	}
-	if cfg.Lookahead <= 0 {
-		cfg.Lookahead = machine.DefaultLookahead
-	}
-	if cfg.DRAMRatio <= 0 {
-		cfg.DRAMRatio = 0.75
-	}
-	if cfg.TLBEntries > 0 && cfg.TLBMissCost <= 0 {
-		cfg.TLBMissCost = 25 * sim.Nanosecond
-	}
-	n := cfg.Cores
-
-	pols := make([]policy.Policy, n)
+	pols := make([]policy.Policy, cfg.Cores)
 	for i := range pols {
 		if pols[i] = newPolicy(); pols[i] == nil {
 			return nil, errors.New("smp: policy factory returned nil")
 		}
 	}
-
-	// Partition the LLC: every core gets its own pre-execute carve-out
-	// (same way-partitioning math as the single-core machine, split N
-	// ways); the remainder is the shared LLC.
-	llcSize, llcWays := cfg.LLCSize, cfg.LLCWays
-	pxSize, pxWays := 0, 0
-	if pols[0].Kind().NeedsPreExecCache() {
-		per, share, err := cfg.PreExecPartition(n)
-		if err != nil {
-			return nil, err
-		}
-		sets := cfg.LLCSize / (cfg.LineBytes * cfg.LLCWays)
-		pxWays = per
-		pxSize = per * sets * cfg.LineBytes
-		llcSize = cfg.LLCSize - pxSize*n
-		llcWays = share
+	s, err := exec.NewShared(cfg, pols, batchName, specs, true)
+	if err != nil {
+		return nil, err
 	}
-
-	frames := cfg.DRAMFrames
-	if frames == 0 {
-		var pages uint64
-		for _, s := range specs {
-			pages += trace.FootprintPages(s.Gen.FootprintBytes())
-		}
-		frames = int(cfg.DRAMRatio * float64(pages))
-	}
-	if frames < 64 {
-		frames = 64
-	}
-
-	link := bus.New(cfg.BusLanes, cfg.LaneBandwidth)
-	dev := storage.New(cfg.Device, link)
-	m := &Machine{
-		cfg:      cfg,
-		krn:      kernel.New(mem.NewDRAM(frames, cfg.Replacement), dev),
-		llc:      cache.New(cache.Config{SizeBytes: llcSize, LineBytes: cfg.LineBytes, Ways: llcWays}),
-		run:      metrics.NewRun(pols[0].Name(), batchName),
-		inflight: make(map[inflightKey]sim.Time),
-	}
-
-	// Pin every core's slice mapping to the batch-global priority range so
-	// a migrated process keeps the slice the single-queue machine would
-	// give it (and N=1 reproduces the machine's slices exactly).
-	lo, hi := specs[0].Priority, specs[0].Priority
-	for _, s := range specs[1:] {
-		if s.Priority < lo {
-			lo = s.Priority
-		}
-		if s.Priority > hi {
-			hi = s.Priority
-		}
-	}
-
-	for i := 0; i < n; i++ {
-		c := &coreCPU{
-			m:         m,
-			id:        i,
-			eng:       &sim.Engine{},
-			sch:       sched.New(),
-			l1:        cache.New(cache.Config{SizeBytes: cfg.L1Size, LineBytes: cfg.LineBytes, Ways: cfg.L1Ways}),
-			pol:       pols[i],
-			aud:       obs.NewAuditor(),
-			met:       m.run.AddCore(i),
-			lastPXPid: -1,
-		}
-		if pxSize > 0 {
-			c.px = preexec.New(cpu.NewPreExecCache(cache.Config{
-				SizeBytes: pxSize, LineBytes: cfg.LineBytes, Ways: pxWays,
-			}))
-		}
-		if cfg.TLBEntries > 0 {
-			c.tlb = cpu.NewTLB(cfg.TLBEntries)
-		}
-		if cfg.StrictPriority {
-			c.sch.SetStrictPriority(true)
-		}
-		if cfg.MinSlice > 0 || cfg.MaxSlice > 0 {
-			minS, maxS := cfg.MinSlice, cfg.MaxSlice
-			if minS <= 0 {
-				minS = sched.MinSlice
-			}
-			if maxS <= 0 {
-				maxS = sched.MaxSlice
-			}
-			c.sch.SetSliceRange(minS, maxS)
-		}
-		c.sch.SetPriorityRange(lo, hi)
-		c.sch.SetObserver(c.observe)
-		m.cores = append(m.cores, c)
-	}
-
-	for pid, s := range specs {
-		s.Gen.Reset()
-		p := &proc{pid: pid, spec: s, met: m.run.AddProcess(pid, s.Name, s.Priority), owner: pid % n}
-		m.procs = append(m.procs, p)
-		m.krn.AddProcess(pid, s.Name, s.Priority)
-		m.krn.MapRegion(pid, s.BaseVA, s.Gen.FootprintBytes())
-		m.cores[p.owner].sch.Add(pid, s.Priority)
-	}
-	m.warmStart(cfg.WarmFraction, frames)
-
-	for i := range m.want {
-		m.want[i] = m.cores[0].aud.Wants(obs.Type(i))
-	}
-	return m, nil
-}
-
-// observe is each core's scheduler hook: it keeps steal-eligibility
-// timestamps fresh and mirrors unblock transitions into the trace.
-func (c *coreCPU) observe(pid int, from, to sched.State) {
-	if to == sched.Ready {
-		c.m.procs[pid].readyAt = c.eng.Now()
-	}
-	if from == sched.Blocked && to == sched.Ready && c.m.trc.Wants(obs.EvUnblock) {
-		c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvUnblock, PID: pid})
-	}
-}
-
-// warmSetter is implemented by workloads that can enumerate their working
-// set (hottest pages first) for warm-starting DRAM.
-type warmSetter interface {
-	WarmPages(maxPages int) []uint64
-}
-
-// warmStart pre-loads each process's hottest pages into DRAM, fair-share,
-// in pid order — the same steady multiprogrammed state the single-core
-// machine starts from.
-func (m *Machine) warmStart(fraction float64, frames int) {
-	if fraction < 0 {
-		return
-	}
-	if fraction == 0 {
-		fraction = 0.85
-	}
-	if fraction > 1 {
-		fraction = 1
-	}
-	budget := int(fraction * float64(frames) / float64(len(m.procs)))
-	if budget <= 0 {
-		return
-	}
-	for _, p := range m.procs {
-		ws, ok := p.spec.Gen.(warmSetter)
-		if !ok {
-			continue
-		}
-		as := m.krn.Process(p.pid).AS
-		for _, va := range ws.WarmPages(budget) {
-			if pte, found := as.Lookup(va); found && pte.Present() {
-				continue
-			}
-			id, free := m.krn.DRAM().Allocate(p.pid, va, false)
-			if !free {
-				return // DRAM full: warm-start ends here
-			}
-			as.MakePresent(va, uint64(id))
-		}
-	}
+	return &Machine{s: s}, nil
 }
 
 // Instrument attaches an event tracer and, when gaugeEvery > 0, a periodic
 // gauge sampler (driven by core 0's clock). Call before Run. The per-core
 // accounting auditors always run.
 func (m *Machine) Instrument(trc *obs.Tracer, gaugeEvery sim.Time) {
-	m.trc = trc
-	m.gaugeEvery = gaugeEvery
-	m.krn.SetTracer(trc)
-	for i := range m.want {
-		m.want[i] = m.cores[0].aud.Wants(obs.Type(i)) || trc.Wants(obs.Type(i))
-	}
+	m.s.Instrument(trc, gaugeEvery)
 }
 
 // Auditors exposes the per-core accounting auditors (tests, tools).
 func (m *Machine) Auditors() []*obs.Auditor {
-	out := make([]*obs.Auditor, len(m.cores))
-	for i, c := range m.cores {
-		out[i] = c.aud
+	out := make([]*obs.Auditor, len(m.s.Cores))
+	for i, c := range m.s.Cores {
+		out[i] = c.Aud
 	}
 	return out
 }
 
 // Kernel exposes the shared kernel for inspection.
-func (m *Machine) Kernel() *kernel.Kernel { return m.krn }
+func (m *Machine) Kernel() *kernel.Kernel { return m.s.Krn }
 
 // LLC exposes the shared last-level cache for inspection.
-func (m *Machine) LLC() *cache.Cache { return m.llc }
+func (m *Machine) LLC() *cache.Cache { return m.s.LLC }
 
 // CoreCount returns the number of simulated cores.
-func (m *Machine) CoreCount() int { return len(m.cores) }
+func (m *Machine) CoreCount() int { return len(m.s.Cores) }
 
-// emit stamps the event with the core id and routes it to the core's
-// auditor and the shared tracer.
-func (c *coreCPU) emit(ev obs.Event) {
-	ev.Core = c.id
-	if c.aud.Wants(ev.Type) {
-		c.aud.Write(ev)
-	}
-	c.m.trc.Emit(ev)
-}
-
-// alive is the number of unfinished processes across every core.
-func (m *Machine) alive() int {
-	n := 0
-	for _, c := range m.cores {
-		n += c.sch.Alive()
-	}
-	return n
-}
-
-// nextTime returns the earliest virtual time at which this core can do
+// nextTime returns the earliest virtual time at which core c can do
 // something, or false when the core is parked (nothing now or ever, barring
 // other cores' progress). A core with no live local processes ignores its
 // leftover trace events so it parks (or steals) instead of spinning.
-func (c *coreCPU) nextTime() (sim.Time, bool) {
-	if c.cur != nil || c.sch.NextToRun() != -1 {
-		return c.eng.Now(), true
+func (m *Machine) nextTime(c *exec.Core) (sim.Time, bool) {
+	if c.Cur != nil || c.Sch.NextToRun() != -1 {
+		return c.Eng.Now(), true
 	}
-	t, ok := c.eng.NextEventTime()
-	if ok && c.sch.Alive() == 0 {
+	t, ok := c.Eng.NextEventTime()
+	if ok && c.Sch.Alive() == 0 {
 		ok = false
 	}
-	if cand := c.stealCandidate(); cand != nil {
-		st := cand.readyAt
-		if now := c.eng.Now(); st < now {
+	if cand := m.stealCandidate(c); cand != nil {
+		st := cand.ReadyAt
+		if now := c.Eng.Now(); st < now {
 			st = now
 		}
 		if !ok || st < t {
@@ -413,15 +141,15 @@ func (c *coreCPU) nextTime() (sim.Time, bool) {
 // core that is running one process while another sits Ready in its queue.
 // Only Ready processes migrate — blocked ones have wake-up events tied to
 // their owner's engine.
-func (c *coreCPU) stealCandidate() *proc {
-	n := len(c.m.cores)
+func (m *Machine) stealCandidate(c *exec.Core) *exec.Proc {
+	n := len(m.s.Cores)
 	for off := 1; off < n; off++ {
-		v := c.m.cores[(c.id+off)%n]
-		if v.cur == nil {
+		v := m.s.Cores[(c.ID+off)%n]
+		if v.Cur == nil {
 			continue
 		}
-		if pid := v.sch.NextToRun(); pid != -1 {
-			return c.m.procs[pid]
+		if pid := v.Sch.NextToRun(); pid != -1 {
+			return m.s.Procs[pid]
 		}
 	}
 	return nil
@@ -430,203 +158,155 @@ func (c *coreCPU) stealCandidate() *proc {
 // Run executes every process to completion under the deterministic
 // coordinator and returns the metrics.
 func (m *Machine) Run() (*metrics.Run, error) {
-	label := m.run.Policy + "/" + m.run.Batch
-	m.trc.Emit(obs.Event{Time: 0, Type: obs.EvRunBegin, PID: -1, Cause: label})
-	for _, c := range m.cores {
-		c.aud.Write(obs.Event{Time: 0, Type: obs.EvRunBegin, PID: -1, Core: c.id, Cause: label})
+	s := m.s
+	label := s.Run.Policy + "/" + s.Run.Batch
+	s.Trc.Emit(obs.Event{Time: 0, Type: obs.EvRunBegin, PID: -1, Cause: label})
+	for _, c := range s.Cores {
+		c.Aud.Write(obs.Event{Time: 0, Type: obs.EvRunBegin, PID: -1, Core: c.ID, Cause: label})
 	}
-	m.scheduleGauges()
+	s.ScheduleGauges()
 
-	for m.alive() > 0 {
+	for s.Alive() > 0 {
 		best, bestT := -1, never
-		for _, c := range m.cores {
-			if t, ok := c.nextTime(); ok && (best == -1 || t < bestT) {
-				best, bestT = c.id, t
+		for _, c := range s.Cores {
+			if t, ok := m.nextTime(c); ok && (best == -1 || t < bestT) {
+				best, bestT = c.ID, t
 			}
 		}
 		if best == -1 {
-			return m.run, fmt.Errorf("smp: deadlock — every core parked with %d processes unfinished", m.alive())
+			return s.Run, fmt.Errorf("smp: deadlock — every core parked with %d processes unfinished", s.Alive())
 		}
 		// The horizon is the earliest time any OTHER core is due: the
 		// chosen core executes up to it, then yields back so shared
 		// state mutates in deterministic near-time order.
 		horizon := never
-		for _, c := range m.cores {
-			if c.id == best {
+		for _, c := range s.Cores {
+			if c.ID == best {
 				continue
 			}
-			if t, ok := c.nextTime(); ok && t < horizon {
+			if t, ok := m.nextTime(c); ok && t < horizon {
 				horizon = t
 			}
 		}
-		if err := m.cores[best].step(horizon); err != nil {
-			return m.run, err
+		if err := m.step(s.Cores[best], horizon); err != nil {
+			return s.Run, err
 		}
 	}
 
 	var makespan sim.Time
-	for _, c := range m.cores {
-		c.met.LocalClock = c.eng.Now()
-		if c.eng.Now() > makespan {
-			makespan = c.eng.Now()
+	for _, c := range s.Cores {
+		c.Met.LocalClock = c.Eng.Now()
+		if c.Eng.Now() > makespan {
+			makespan = c.Eng.Now()
 		}
 	}
-	m.run.Makespan = makespan
-	m.trc.Emit(obs.Event{Time: makespan, Type: obs.EvRunEnd, PID: -1})
-	for _, c := range m.cores {
-		c.aud.Write(obs.Event{Time: c.eng.Now(), Type: obs.EvRunEnd, PID: -1, Core: c.id})
-		c.eng.RunUntilIdle() // drain trailing completions and trace events
-		if err := c.aud.Err(); err != nil {
-			return m.run, fmt.Errorf("smp: core %d accounting audit failed: %w", c.id, err)
+	s.Run.Makespan = makespan
+	s.Trc.Emit(obs.Event{Time: makespan, Type: obs.EvRunEnd, PID: -1})
+	for _, c := range s.Cores {
+		c.Aud.Write(obs.Event{Time: c.Eng.Now(), Type: obs.EvRunEnd, PID: -1, Core: c.ID})
+		c.Eng.RunUntilIdle() // drain trailing completions and trace events
+		if err := c.Aud.Err(); err != nil {
+			return s.Run, fmt.Errorf("smp: core %d accounting audit failed: %w", c.ID, err)
 		}
 	}
-	return m.run, nil
+	return s.Run, nil
 }
 
-// step advances this core once: dispatch-and-run, one idle event, or one
+// step advances core c once: dispatch-and-run, one idle event, or one
 // steal. The kernel's event attribution follows the stepping core.
-func (c *coreCPU) step(horizon sim.Time) error {
-	m := c.m
-	if m.cfg.MaxSimTime > 0 && c.eng.Now() > m.cfg.MaxSimTime {
-		return fmt.Errorf("smp: core %d exceeded max simulated time %v", c.id, m.cfg.MaxSimTime)
+func (m *Machine) step(c *exec.Core, horizon sim.Time) error {
+	s := m.s
+	if s.Cfg.MaxSimTime > 0 && c.Eng.Now() > s.Cfg.MaxSimTime {
+		return fmt.Errorf("smp: core %d exceeded max simulated time %v", c.ID, s.Cfg.MaxSimTime)
 	}
-	m.krn.SetCore(c.id)
-	if c.cur == nil {
-		pid := c.sch.PickNext()
+	s.Krn.SetCore(c.ID)
+	if c.Cur == nil {
+		pid := c.Sch.PickNext()
 		if pid == -1 {
 			// Prefer local events when they land no later than the
 			// earliest steal; otherwise pull work over.
-			evT, hasEv := c.eng.NextEventTime()
-			if cand := c.stealCandidate(); cand != nil {
-				st := cand.readyAt
-				if now := c.eng.Now(); st < now {
+			evT, hasEv := c.Eng.NextEventTime()
+			if cand := m.stealCandidate(c); cand != nil {
+				st := cand.ReadyAt
+				if now := c.Eng.Now(); st < now {
 					st = now
 				}
 				if !hasEv || st < evT {
-					c.steal(cand, st)
+					m.steal(c, cand, st)
 					return nil
 				}
 			}
-			t0 := c.eng.Now()
-			if m.want[obs.EvSchedIdleBegin] {
-				c.emit(obs.Event{Time: t0, Type: obs.EvSchedIdleBegin, PID: -1})
+			t0 := c.Eng.Now()
+			if s.Want[obs.EvSchedIdleBegin] {
+				c.Emit(obs.Event{Time: t0, Type: obs.EvSchedIdleBegin, PID: -1})
 			}
-			if !c.eng.StepOne() {
-				return fmt.Errorf("smp: core %d has no runnable process and no pending event at %v", c.id, t0)
+			if !c.Eng.StepOne() {
+				return fmt.Errorf("smp: core %d has no runnable process and no pending event at %v", c.ID, t0)
 			}
-			d := c.eng.Now() - t0
-			m.run.SchedulerIdle += d
-			c.met.SchedulerIdle += d
-			if m.want[obs.EvSchedIdleEnd] {
-				c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvSchedIdleEnd, PID: -1})
+			d := c.Eng.Now() - t0
+			s.Run.SchedulerIdle += d
+			c.Met.SchedulerIdle += d
+			if s.Want[obs.EvSchedIdleEnd] {
+				c.Emit(obs.Event{Time: c.Eng.Now(), Type: obs.EvSchedIdleEnd, PID: -1})
 			}
 			return nil
 		}
-		c.dispatch(pid)
+		c.Dispatch(pid)
 	}
-	return c.runCur(horizon)
+	c.RunUntil(horizon)
+	return nil
 }
 
-// steal migrates p (Ready on another core) onto this core at time at: the
+// steal migrates p (Ready on another core) onto core c at time at: the
 // idle wait up to the victim's ready time is scheduler idle, the migration
 // itself costs one context switch of state movement, and p's in-flight
 // swap-in completions move onto this core's engine.
-func (c *coreCPU) steal(p *proc, at sim.Time) {
-	m := c.m
-	if at > c.eng.Now() {
-		t0 := c.eng.Now()
-		if m.want[obs.EvSchedIdleBegin] {
-			c.emit(obs.Event{Time: t0, Type: obs.EvSchedIdleBegin, PID: -1})
+func (m *Machine) steal(c *exec.Core, p *exec.Proc, at sim.Time) {
+	s := m.s
+	if at > c.Eng.Now() {
+		t0 := c.Eng.Now()
+		if s.Want[obs.EvSchedIdleBegin] {
+			c.Emit(obs.Event{Time: t0, Type: obs.EvSchedIdleBegin, PID: -1})
 		}
-		c.eng.AdvanceTo(at) // fires nothing: local events are later by construction
+		c.Eng.AdvanceTo(at) // fires nothing: local events are later by construction
 		d := at - t0
-		m.run.SchedulerIdle += d
-		c.met.SchedulerIdle += d
-		if m.want[obs.EvSchedIdleEnd] {
-			c.emit(obs.Event{Time: at, Type: obs.EvSchedIdleEnd, PID: -1})
+		s.Run.SchedulerIdle += d
+		c.Met.SchedulerIdle += d
+		if s.Want[obs.EvSchedIdleEnd] {
+			c.Emit(obs.Event{Time: at, Type: obs.EvSchedIdleEnd, PID: -1})
 		}
 	}
 
-	victim := m.cores[p.owner]
-	victim.sch.Remove(p.pid)
-	victim.met.MigratedAway++
-	p.owner = c.id
-	c.sch.Add(p.pid, p.spec.Priority)
-	c.met.Steals++
+	victim := s.Cores[p.Owner]
+	victim.Sch.Remove(p.PID)
+	victim.Met.MigratedAway++
+	p.Owner = c.ID
+	c.Sch.Add(p.PID, p.Spec.Priority)
+	c.Met.Steals++
 
 	// Re-home pending completions: past ones (on this clock) apply now,
 	// future ones reschedule here.
-	moved := p.pending
-	p.pending = nil
+	moved := p.Pending
+	p.Pending = nil
 	for _, pio := range moved {
-		victim.eng.Cancel(pio.ev)
-		if pio.done <= c.eng.Now() {
-			m.krn.CompleteSwapIn(p.pid, pio.key.page, pio.frame)
-			delete(m.inflight, pio.key)
+		victim.Eng.Cancel(pio.Ev)
+		if pio.Done <= c.Eng.Now() {
+			s.Krn.CompleteSwapIn(p.PID, pio.Key.Page, pio.Frame)
+			delete(s.Inflight, pio.Key)
 		} else {
-			c.schedulePendingIO(p, pio)
+			c.SchedulePendingIO(p, pio)
 		}
 	}
 
 	// Migration is pure state movement: one context-switch cost, charged
 	// to the thief core and counted against the migrated process. Cache
 	// and TLB pollution is emergent — the process starts cold here.
-	m.run.ContextSwitchTime += kernel.ContextSwitchCost
-	c.met.ContextSwitchTime += kernel.ContextSwitchCost
-	p.met.ContextSwitches++
-	c.advance(nil, kernel.ContextSwitchCost)
-	if m.want[obs.EvContextSwitch] {
-		c.emit(obs.Event{Time: c.eng.Now(), Type: obs.EvContextSwitch, PID: p.pid,
+	s.Run.ContextSwitchTime += kernel.ContextSwitchCost
+	c.Met.ContextSwitchTime += kernel.ContextSwitchCost
+	p.Met.ContextSwitches++
+	c.Eng.AdvanceTo(c.Eng.Now() + kernel.ContextSwitchCost)
+	if s.Want[obs.EvContextSwitch] {
+		c.Emit(obs.Event{Time: c.Eng.Now(), Type: obs.EvContextSwitch, PID: p.PID,
 			Dur: kernel.ContextSwitchCost, Cause: "migrate"})
 	}
-}
-
-// schedulePendingIO schedules pio's completion on this core's engine and
-// tracks it on p for migration.
-func (c *coreCPU) schedulePendingIO(p *proc, pio *pendingIO) {
-	m := c.m
-	pio.ev = c.eng.Schedule(pio.done, func(sim.Time) {
-		m.krn.CompleteSwapIn(p.pid, pio.key.page, pio.frame)
-		delete(m.inflight, pio.key)
-		p.dropPending(pio)
-	})
-	p.pending = append(p.pending, pio)
-}
-
-// scheduleGauges starts the periodic gauge sampler on core 0's clock.
-func (m *Machine) scheduleGauges() {
-	if m.gaugeEvery <= 0 || !m.want[obs.EvGauge] {
-		return
-	}
-	c0 := m.cores[0]
-	var tick func(now sim.Time)
-	tick = func(now sim.Time) {
-		m.emitGauges(now)
-		if m.alive() > 0 {
-			c0.eng.Schedule(now+m.gaugeEvery, tick)
-		}
-	}
-	c0.eng.Schedule(c0.eng.Now()+m.gaugeEvery, tick)
-}
-
-func (m *Machine) emitGauges(now sim.Time) {
-	c0 := m.cores[0]
-	g := func(name string, v int64) {
-		c0.emit(obs.Event{Time: now, Type: obs.EvGauge, PID: -1, Cause: name, Value: v})
-	}
-	ready := 0
-	for _, c := range m.cores {
-		ready += c.sch.Runnable()
-	}
-	g("ready_queue_depth", int64(ready))
-	g("outstanding_swapins", int64(len(m.inflight)))
-	g("llc_lines", int64(m.llc.ValidLines()))
-	if m.cores[0].px != nil {
-		px := 0
-		for _, c := range m.cores {
-			px += c.px.PXC.ValidLines()
-		}
-		g("preexec_cache_lines", int64(px))
-	}
-	g("busy_storage_channels", int64(m.krn.Device().BusyChannelsAt(now)))
 }

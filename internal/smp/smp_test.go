@@ -97,6 +97,59 @@ func TestSingleCoreMatchesMachine(t *testing.T) {
 	}
 }
 
+// TestEquivalenceProperty is the structural guarantee the unified engine
+// makes: for every policy kind and a sweep of seeded config variants
+// (mechanistic TLB, huge-I/O swap clusters, polling recovery, strict
+// priorities, different trace scales), the legacy single-core machine and a
+// 1-core run through the SMP coordinator produce byte-identical summaries —
+// not because the port is careful, but because both instantiate the same
+// exec.Core.
+func TestEquivalenceProperty(t *testing.T) {
+	variants := []struct {
+		name  string
+		scale float64
+		mut   func(*machine.Config)
+	}{
+		{"base", 0.03, func(cfg *machine.Config) {}},
+		{"tlb", 0.02, func(cfg *machine.Config) { cfg.TLBEntries = 64 }},
+		{"swap_cluster", 0.02, func(cfg *machine.Config) { cfg.SwapClusterPages = 4 }},
+		{"poll_recovery", 0.02, func(cfg *machine.Config) { cfg.RecoveryPoll = 2 * sim.Microsecond }},
+		{"strict_priority", 0.02, func(cfg *machine.Config) { cfg.StrictPriority = true }},
+		{"combined", 0.01, func(cfg *machine.Config) {
+			cfg.TLBEntries = 64
+			cfg.SwapClusterPages = 4
+			cfg.RecoveryPoll = 2 * sim.Microsecond
+		}},
+	}
+	for _, v := range variants {
+		for _, kind := range policy.Kinds() {
+			t.Run(v.name+"/"+kind.String(), func(t *testing.T) {
+				cfg := testConfig(1)
+				v.mut(&cfg)
+				legacy := machine.New(cfg, factory(kind)(), "2_Data_Intensive", testSpecs(t, v.scale))
+				wantRun, err := legacy.Run()
+				if err != nil {
+					t.Fatalf("machine run: %v", err)
+				}
+				m, err := smp.New(cfg, factory(kind), "2_Data_Intensive", testSpecs(t, v.scale))
+				if err != nil {
+					t.Fatalf("smp.New: %v", err)
+				}
+				gotRun, err := m.Run()
+				if err != nil {
+					t.Fatalf("smp run: %v", err)
+				}
+				want := summaryJSON(t, wantRun, true)
+				got := summaryJSON(t, gotRun, true)
+				if got != want {
+					t.Errorf("1-core SMP diverged from the machine under %s\n got: %s\nwant: %s",
+						v.name, got, want)
+				}
+			})
+		}
+	}
+}
+
 // TestDeterminism runs the 4-core machine twice on identical inputs and
 // demands byte-identical summaries, per-core counters included.
 func TestDeterminism(t *testing.T) {
