@@ -102,6 +102,16 @@ func diffDocs(oldDoc, newDoc *jsonDoc, tol float64) []string {
 				report(fmt.Sprintf("figures/%s/%s/%s", fig, batch, pol),
 					oldDoc.Figures[fig][batch][pol], nv)
 			}
+			for _, pol := range sortedKeys(newRow) {
+				if _, ok := oldDoc.Figures[fig][batch][pol]; !ok {
+					drifts = append(drifts, fmt.Sprintf("figures/%s/%s/%s: only in new document", fig, batch, pol))
+				}
+			}
+		}
+		for _, batch := range sortedKeys(newFig) {
+			if _, ok := oldDoc.Figures[fig][batch]; !ok {
+				drifts = append(drifts, fmt.Sprintf("figures/%s/%s: only in new document", fig, batch))
+			}
 		}
 	}
 	for _, fig := range sortedKeys(newDoc.Figures) {
@@ -127,10 +137,11 @@ func diffDocs(oldDoc, newDoc *jsonDoc, tol float64) []string {
 		}
 		o := oldDoc.Runs[i]
 		prefix := fmt.Sprintf("runs/%s/%s/", r.Policy, r.Batch)
-		fields := []struct {
+		type metricPair struct {
 			name     string
 			old, new float64
-		}{
+		}
+		fields := []metricPair{
 			{"makespan_ns", float64(o.MakespanNs), float64(r.MakespanNs)},
 			{"total_idle_ns", float64(o.TotalIdleNs), float64(r.TotalIdleNs)},
 			{"scheduler_idle_ns", float64(o.SchedulerIdleNs), float64(r.SchedulerIdleNs)},
@@ -145,6 +156,23 @@ func diffDocs(oldDoc, newDoc *jsonDoc, tol float64) []string {
 			{"avg_finish_ns", float64(o.AvgFinishNs), float64(r.AvgFinishNs)},
 			{"top_half_avg_finish_ns", float64(o.TopHalfAvgFinishNs), float64(r.TopHalfAvgFinishNs)},
 			{"bottom_half_avg_finish_ns", float64(o.BottomHalfAvgFinishNs), float64(r.BottomHalfAvgFinishNs)},
+			{"demoted_waits", float64(o.DemotedWaits), float64(r.DemotedWaits)},
+			{"prefetch_throttled", float64(o.PrefetchThrottled), float64(r.PrefetchThrottled)},
+		}
+		oi, ni := o.Injection, r.Injection
+		if (oi == nil) != (ni == nil) {
+			have := "new"
+			if ni == nil {
+				have = "old"
+			}
+			drifts = append(drifts, fmt.Sprintf("%sfault_injection: only in %s document", prefix, have))
+		} else if oi != nil {
+			fields = append(fields,
+				metricPair{"fault_injection/tail_spikes", float64(oi.TailSpikes), float64(ni.TailSpikes)},
+				metricPair{"fault_injection/channel_stalls", float64(oi.ChannelStalls), float64(ni.ChannelStalls)},
+				metricPair{"fault_injection/dma_failures", float64(oi.DMAFailures), float64(ni.DMAFailures)},
+				metricPair{"fault_injection/dma_retries", float64(oi.DMARetries), float64(ni.DMARetries)},
+			)
 		}
 		for _, f := range fields {
 			report(prefix+f.name, f.old, f.new)

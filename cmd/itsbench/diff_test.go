@@ -114,6 +114,74 @@ func TestDiffMissingAndExtraEntries(t *testing.T) {
 	}
 }
 
+// A batch or policy that exists only in the NEW document must register as
+// drift too — presence checks are symmetric at every nesting level, not just
+// for whole figures.
+func TestDiffExtraInnerEntriesAreDrift(t *testing.T) {
+	dir := t.TempDir()
+	a := writeDoc(t, dir, "a.json", testDoc())
+	changed := testDoc()
+	changed.Figures["fig4a"]["2_Data_Intensive"] = map[string]float64{"ITS": 1}
+	changed.Figures["fig4a"]["1_Data_Intensive"]["Async"] = 2.5
+	changed.Runs = append(changed.Runs, metrics.Summary{
+		Policy: "Async", Batch: "1_Data_Intensive", MakespanNs: 2_000_000,
+	})
+	b := writeDoc(t, dir, "b.json", changed)
+
+	var out bytes.Buffer
+	if code := diffMain([]string{a, b}, &out); code != 1 {
+		t.Fatalf("new-only entries: exit %d, want 1; output:\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"figures/fig4a/2_Data_Intensive: only in new document",
+		"figures/fig4a/1_Data_Intensive/Async: only in new document",
+		"runs/Async/1_Data_Intensive: only in new document",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// The fault-injection summary section participates in the comparison: a
+// drifted counter and a section present in only one document both fail.
+func TestDiffFaultInjectionFields(t *testing.T) {
+	dir := t.TempDir()
+	base := testDoc()
+	base.Runs[0].DemotedWaits = 3
+	base.Runs[0].Injection = &metrics.InjectionStats{TailSpikes: 10, DMAFailures: 2, DMARetries: 2}
+	a := writeDoc(t, dir, "a.json", base)
+
+	changed := testDoc()
+	changed.Runs[0].DemotedWaits = 4
+	changed.Runs[0].Injection = &metrics.InjectionStats{TailSpikes: 11, DMAFailures: 2, DMARetries: 2}
+	b := writeDoc(t, dir, "b.json", changed)
+
+	var out bytes.Buffer
+	if code := diffMain([]string{a, b}, &out); code != 1 {
+		t.Fatalf("fault drift: exit %d, want 1; output:\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"runs/ITS/1_Data_Intensive/demoted_waits",
+		"runs/ITS/1_Data_Intensive/fault_injection/tail_spikes",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// Section appearing only on one side is structural drift, not a skip.
+	noInj := testDoc()
+	c := writeDoc(t, dir, "c.json", noInj)
+	out.Reset()
+	if code := diffMain([]string{a, c}, &out); code != 1 {
+		t.Fatalf("injection section removed: exit %d, want 1; output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "fault_injection: only in old document") {
+		t.Errorf("output missing one-sided injection drift:\n%s", out.String())
+	}
+}
+
 func TestDiffUsageErrors(t *testing.T) {
 	var out bytes.Buffer
 	if code := diffMain([]string{"only-one.json"}, &out); code != 2 {

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"itsim/internal/core"
+	"itsim/internal/fault"
 	"itsim/internal/kernel"
 	"itsim/internal/metrics"
 	"itsim/internal/obs"
@@ -50,24 +51,41 @@ import (
 	"itsim/internal/workload"
 )
 
+// params carries the parsed command line.
+type params struct {
+	exp              string
+	scale            float64
+	cores            int
+	format           string
+	traceOut         string
+	traceFormat      string
+	traceFilter      string
+	gaugeEvery       time.Duration
+	faults           string
+	spinBudget       time.Duration
+	prefetchThrottle float64
+}
+
 func main() {
 	// Subcommand dispatch precedes flag parsing: `itsbench diff a.json
 	// b.json` compares two -format json documents (regression check).
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
 		os.Exit(diffMain(os.Args[2:], os.Stdout))
 	}
-	var (
-		exp         = flag.String("exp", "all", "experiment: obs|fig4a|fig4b|fig4c|fig5a|fig5b|setup|xover|spin|sens|all")
-		scale       = flag.Float64("scale", 0.25, "workload scale factor")
-		cores       = flag.Int("cores", 0, "simulated core count (0/1 = single-core; >1 = SMP with work stealing)")
-		format      = flag.String("format", "text", "output format: text|csv|chart|json")
-		traceOut    = flag.String("trace-out", "", "write the simulation event trace of every run to this file (empty = off)")
-		traceFormat = flag.String("trace-format", "chrome", "trace format: chrome|jsonl")
-		traceFilter = flag.String("trace-filter", "", "comma-separated event types and pid=N entries (empty = all)")
-		gaugeEvery  = flag.Duration("gauge-interval", 0, "virtual-time gauge sampling interval, e.g. 100us (0 = off)")
-	)
+	var p params
+	flag.StringVar(&p.exp, "exp", "all", "experiment: obs|fig4a|fig4b|fig4c|fig5a|fig5b|setup|xover|spin|sens|all")
+	flag.Float64Var(&p.scale, "scale", 0.25, "workload scale factor")
+	flag.IntVar(&p.cores, "cores", 0, "simulated core count (0/1 = single-core; >1 = SMP with work stealing)")
+	flag.StringVar(&p.format, "format", "text", "output format: text|csv|chart|json")
+	flag.StringVar(&p.traceOut, "trace-out", "", "write the simulation event trace of every run to this file (empty = off)")
+	flag.StringVar(&p.traceFormat, "trace-format", "chrome", "trace format: chrome|jsonl")
+	flag.StringVar(&p.traceFilter, "trace-filter", "", "comma-separated event types and pid=N entries (empty = all)")
+	flag.DurationVar(&p.gaugeEvery, "gauge-interval", 0, "virtual-time gauge sampling interval, e.g. 100us (0 = off)")
+	flag.StringVar(&p.faults, "faults", "", "device fault-injection spec, e.g. 'seed=42,tailp=0.01,tailx=8,stallp=0.001,dmap=0.005' (empty = off)")
+	flag.DurationVar(&p.spinBudget, "spin-budget", 0, "demote synchronous waits predicted to exceed this budget to async switches (0 = off)")
+	flag.Float64Var(&p.prefetchThrottle, "prefetch-throttle", 0, "ITS skips prefetch walks when this fraction of storage channels is busy, e.g. 0.75 (0 = off)")
 	flag.Parse()
-	if err := run(*exp, *scale, *cores, *format, *traceOut, *traceFormat, *traceFilter, *gaugeEvery); err != nil {
+	if err := run(p); err != nil {
 		fmt.Fprintln(os.Stderr, "itsbench:", err)
 		os.Exit(1)
 	}
@@ -100,39 +118,52 @@ type jsonDoc struct {
 	Sensitivity []core.SensitivityResult `json:"sensitivity,omitempty"`
 }
 
-func run(exp string, scale float64, cores int, format, traceOut, traceFormat, traceFilter string, gaugeEvery time.Duration) error {
+func run(p params) error {
 	// Validate the output format and trace flags before any experiment
 	// runs — a grid at full scale is minutes of work to waste on a typo.
-	switch format {
+	switch p.format {
 	case "text", "csv", "chart", "json":
 	default:
-		return fmt.Errorf("unknown format %q (want text, csv, chart or json)", format)
+		return fmt.Errorf("unknown format %q (want text, csv, chart or json)", p.format)
 	}
-	trc, err := obs.TracerFromFlags(traceOut, traceFormat, traceFilter)
+	trc, err := obs.TracerFromFlags(p.traceOut, p.traceFormat, p.traceFilter)
 	if err != nil {
 		return err
 	}
+	faultCfg, err := fault.ParseSpec(p.faults)
+	if err != nil {
+		return err
+	}
+	if p.spinBudget < 0 {
+		return fmt.Errorf("negative spin budget %v", p.spinBudget)
+	}
+	if p.prefetchThrottle < 0 || p.prefetchThrottle > 1 {
+		return fmt.Errorf("prefetch-throttle %v outside [0,1]", p.prefetchThrottle)
+	}
 	opts := core.Options{
-		Scale:         scale,
-		Cores:         cores,
+		Scale:         p.scale,
+		Cores:         p.cores,
 		Tracer:        trc,
-		GaugeInterval: sim.Time(gaugeEvery.Nanoseconds()),
+		GaugeInterval: sim.Time(p.gaugeEvery.Nanoseconds()),
+		Fault:         faultCfg,
+		SpinBudget:    sim.Time(p.spinBudget.Nanoseconds()),
+		ITS:           policy.ITSConfig{PrefetchThrottleFraction: p.prefetchThrottle},
 	}
 	needGrid := false
-	switch exp {
+	switch p.exp {
 	case "obs", "setup", "xover", "spin", "sens":
 	case "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "all":
 		needGrid = true
 	default:
-		return fmt.Errorf("unknown experiment %q", exp)
+		return fmt.Errorf("unknown experiment %q", p.exp)
 	}
 
 	var doc *jsonDoc
-	if format == "json" {
-		doc = &jsonDoc{Scale: scale}
+	if p.format == "json" {
+		doc = &jsonDoc{Scale: p.scale}
 	}
 
-	err = runExperiments(exp, needGrid, opts, format, doc)
+	err = runExperiments(p.exp, needGrid, opts, p.format, doc)
 	if cerr := trc.Close(); cerr != nil && err == nil {
 		err = fmt.Errorf("finalizing trace: %w", cerr)
 	}

@@ -8,6 +8,12 @@ import (
 	"time"
 )
 
+// tiny returns the params for a minimal-scale harness run of exp, with
+// overrides applied by the caller.
+func tiny(exp string) params {
+	return params{exp: exp, scale: 0.01, format: "text", traceFormat: "chrome"}
+}
+
 // The harness is exercised end-to-end at a tiny scale: every experiment and
 // format must render without error (outputs go to stdout; correctness of
 // the numbers is covered by internal/core's tests).
@@ -16,7 +22,7 @@ func TestRunAllExperiments(t *testing.T) {
 		t.Skip("harness run in -short mode")
 	}
 	for _, exp := range []string{"setup", "obs", "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "xover", "spin"} {
-		if err := run(exp, 0.01, 0, "text", "", "chrome", "", 0); err != nil {
+		if err := run(tiny(exp)); err != nil {
 			t.Fatalf("%s: %v", exp, err)
 		}
 	}
@@ -27,7 +33,9 @@ func TestRunFormats(t *testing.T) {
 		t.Skip("harness run in -short mode")
 	}
 	for _, format := range []string{"csv", "chart", "json"} {
-		if err := run("fig4a", 0.01, 0, format, "", "chrome", "", 0); err != nil {
+		p := tiny("fig4a")
+		p.format = format
+		if err := run(p); err != nil {
 			t.Fatalf("%s: %v", format, err)
 		}
 	}
@@ -37,20 +45,56 @@ func TestRunMultiCore(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness run in -short mode")
 	}
-	if err := run("fig4a", 0.01, 2, "text", "", "chrome", "", 0); err != nil {
+	p := tiny("fig4a")
+	p.cores = 2
+	if err := run(p); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A degraded-device run: faults, demotion budget and prefetch throttle all
+// enabled must still render every figure.
+func TestRunWithFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("harness run in -short mode")
+	}
+	p := tiny("fig4a")
+	p.faults = "seed=7,tailp=0.05,tailx=8,stallp=0.01,dmap=0.02"
+	p.spinBudget = 3 * time.Microsecond
+	p.prefetchThrottle = 0.5
+	if err := run(p); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunRejectsUnknown(t *testing.T) {
-	if err := run("nope", 0.01, 0, "text", "", "chrome", "", 0); err == nil {
+	if err := run(tiny("nope")); err == nil {
 		t.Fatal("unknown experiment accepted")
 	}
-	if err := run("fig4a", 0.01, 0, "nope", "", "chrome", "", 0); err == nil {
+	p := tiny("fig4a")
+	p.format = "nope"
+	if err := run(p); err == nil {
 		t.Fatal("unknown format accepted")
 	}
-	if err := run("fig4a", 0.01, 0, "text", "x.json", "nope", "", 0); err == nil {
+	p = tiny("fig4a")
+	p.traceOut, p.traceFormat = "x.json", "nope"
+	if err := run(p); err == nil {
 		t.Fatal("unknown trace format accepted")
+	}
+	p = tiny("fig4a")
+	p.faults = "tailp=nope"
+	if err := run(p); err == nil {
+		t.Fatal("bad fault spec accepted")
+	}
+	p = tiny("fig4a")
+	p.spinBudget = -time.Microsecond
+	if err := run(p); err == nil {
+		t.Fatal("negative spin budget accepted")
+	}
+	p = tiny("fig4a")
+	p.prefetchThrottle = 1.5
+	if err := run(p); err == nil {
+		t.Fatal("out-of-range prefetch throttle accepted")
 	}
 }
 
@@ -60,11 +104,13 @@ func TestRunWithTrace(t *testing.T) {
 	if testing.Short() {
 		t.Skip("harness run in -short mode")
 	}
-	path := filepath.Join(t.TempDir(), "trace.json")
-	if err := run("fig4a", 0.01, 0, "text", path, "chrome", "", 50*time.Microsecond); err != nil {
+	p := tiny("fig4a")
+	p.traceOut = filepath.Join(t.TempDir(), "trace.json")
+	p.gaugeEvery = 50 * time.Microsecond
+	if err := run(p); err != nil {
 		t.Fatal(err)
 	}
-	data, err := os.ReadFile(path)
+	data, err := os.ReadFile(p.traceOut)
 	if err != nil {
 		t.Fatal(err)
 	}

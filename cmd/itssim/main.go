@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"itsim/internal/core"
+	"itsim/internal/fault"
 	"itsim/internal/machine"
 	"itsim/internal/obs"
 	"itsim/internal/policy"
@@ -45,16 +46,19 @@ func coreMachineConfig(scale, dramRatio float64) machine.Config {
 
 // params carries the parsed command line.
 type params struct {
-	batch, policy string
-	scale         float64
-	dramRatio     float64
-	cores         int
-	verbose       bool
-	format        string
-	traceOut      string
-	traceFormat   string
-	traceFilter   string
-	gaugeEvery    time.Duration
+	batch, policy    string
+	scale            float64
+	dramRatio        float64
+	cores            int
+	verbose          bool
+	format           string
+	traceOut         string
+	traceFormat      string
+	traceFilter      string
+	gaugeEvery       time.Duration
+	faults           string
+	spinBudget       time.Duration
+	prefetchThrottle float64
 }
 
 func main() {
@@ -70,6 +74,9 @@ func main() {
 	flag.StringVar(&p.traceFormat, "trace-format", "chrome", "trace format: chrome|jsonl")
 	flag.StringVar(&p.traceFilter, "trace-filter", "", "comma-separated event types and pid=N entries (empty = all)")
 	flag.DurationVar(&p.gaugeEvery, "gauge-interval", 0, "virtual-time gauge sampling interval, e.g. 100us (0 = off)")
+	flag.StringVar(&p.faults, "faults", "", "device fault-injection spec, e.g. 'seed=42,tailp=0.01,tailx=8,stallp=0.001,dmap=0.005' (empty = off)")
+	flag.DurationVar(&p.spinBudget, "spin-budget", 0, "demote synchronous waits predicted to exceed this budget to async switches (0 = off)")
+	flag.Float64Var(&p.prefetchThrottle, "prefetch-throttle", 0, "ITS skips prefetch walks when this fraction of storage channels is busy, e.g. 0.75 (0 = off)")
 	flag.Parse()
 
 	if err := run(p); err != nil {
@@ -94,11 +101,24 @@ func run(p params) error {
 	if err != nil {
 		return err
 	}
+	faultCfg, err := fault.ParseSpec(p.faults)
+	if err != nil {
+		return err
+	}
+	if p.spinBudget < 0 {
+		return fmt.Errorf("negative spin budget %v", p.spinBudget)
+	}
+	if p.prefetchThrottle < 0 || p.prefetchThrottle > 1 {
+		return fmt.Errorf("prefetch-throttle %v outside [0,1]", p.prefetchThrottle)
+	}
 	opts := core.Options{
 		Scale:         p.scale,
 		Cores:         p.cores,
 		Tracer:        trc,
 		GaugeInterval: sim.Time(p.gaugeEvery.Nanoseconds()),
+		Fault:         faultCfg,
+		SpinBudget:    sim.Time(p.spinBudget.Nanoseconds()),
+		ITS:           policy.ITSConfig{PrefetchThrottleFraction: p.prefetchThrottle},
 	}
 	if p.dramRatio > 0 {
 		cfg := coreMachineConfig(p.scale, p.dramRatio)
@@ -125,6 +145,13 @@ func run(p params) error {
 	fmt.Printf("  LLC misses        %d\n", run.TotalLLCMisses())
 	fmt.Printf("  context switches  %d (time %v)\n", run.TotalContextSwitches(), run.ContextSwitchTime)
 	fmt.Printf("  stolen time       %v (prefetch accuracy %.1f%%)\n", run.TotalStolen(), 100*run.PrefetchAccuracy())
+	if inj := run.Injection; inj != nil {
+		fmt.Printf("  injected faults   tail=%d stall=%d dma=%d (retries %d)\n",
+			inj.TailSpikes, inj.ChannelStalls, inj.DMAFailures, inj.DMARetries)
+	}
+	if d, th := run.TotalDemotions(), run.TotalPrefetchThrottled(); d > 0 || th > 0 {
+		fmt.Printf("  degradation       demoted waits %d, throttled prefetch walks %d\n", d, th)
+	}
 	fmt.Printf("  avg finish        %v (top50 %v, bottom50 %v)\n",
 		run.AvgFinish(), run.TopHalfAvgFinish(), run.BottomHalfAvgFinish())
 	if run.SyncWaitHist.Count() > 0 {

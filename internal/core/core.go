@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 
+	"itsim/internal/fault"
 	"itsim/internal/machine"
 	"itsim/internal/metrics"
 	"itsim/internal/obs"
@@ -36,6 +37,15 @@ type Options struct {
 	// ITS tunes the ITS policy used by RunBatch/RunGrid (ablations);
 	// the zero value selects the paper defaults.
 	ITS policy.ITSConfig
+	// Fault configures deterministic device fault injection on every run
+	// started through this Options value; the zero value injects
+	// nothing. Composes with Machine: a non-nil Machine config's own
+	// Fault field wins when this one is zero.
+	Fault fault.Config
+	// SpinBudget bounds synchronous fault waits (0 = unbounded, the
+	// historical behaviour): waits predicted to exceed it demote to
+	// async context switches. Same precedence as Fault.
+	SpinBudget sim.Time
 	// Tracer receives the simulation event stream of every run started
 	// through this Options value (nil = tracing off). Multi-run
 	// experiments interleave their runs into the same sink, separated by
@@ -98,6 +108,12 @@ func (o Options) machineConfig(b workload.Batch) machine.Config {
 	}
 	if o.Cores != 0 {
 		cfg.Cores = o.Cores
+	}
+	if o.Fault.Enabled() {
+		cfg.Fault = o.Fault
+	}
+	if o.SpinBudget > 0 {
+		cfg.SpinBudget = o.SpinBudget
 	}
 	return cfg
 }

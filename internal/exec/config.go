@@ -19,6 +19,7 @@ import (
 
 	"itsim/internal/bus"
 	"itsim/internal/cache"
+	"itsim/internal/fault"
 	"itsim/internal/mem"
 	"itsim/internal/sim"
 	"itsim/internal/storage"
@@ -126,6 +127,15 @@ type Config struct {
 	// process resumes only at the next tick after the DMA lands, so
 	// polling overshoots by up to one interval.
 	RecoveryPoll sim.Time
+	// Fault configures deterministic device fault injection (tail
+	// spikes, channel stalls, transient DMA failures). The zero value
+	// attaches no injector and keeps the device on the historical path.
+	Fault fault.Config
+	// SpinBudget bounds every otherwise-unbounded synchronous fault wait:
+	// when the predicted window exceeds the budget, the wait demotes to
+	// an async context switch (graceful degradation under a misbehaving
+	// device). 0 disables the budget (the historical behaviour).
+	SpinBudget sim.Time
 }
 
 // DefaultConfig returns the paper's §4.1 platform.
@@ -221,6 +231,15 @@ func (c Config) Validate() error {
 	// at hand does not use it.
 	if _, _, err := c.PreExecPartition(c.Cores); err != nil {
 		return err
+	}
+	if err := c.Device.Validate(); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	if err := c.Fault.Validate(); err != nil {
+		return fmt.Errorf("machine: %w", err)
+	}
+	if c.SpinBudget < 0 {
+		return fmt.Errorf("machine: spin budget must be >= 0, got %v", c.SpinBudget)
 	}
 	return nil
 }

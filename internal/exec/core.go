@@ -428,17 +428,26 @@ func (c *Core) majorFault(p *Proc, rec trace.Record) (blocked bool) {
 	s.Run.FaultHandlerTime += kernel.FaultEntryCost
 
 	ctx := policy.Context{
-		Now:         c.Eng.Now(),
-		PID:         p.PID,
-		VA:          rec.Addr,
-		AS:          s.Krn.Process(p.PID).AS,
-		CurPriority: p.Spec.Priority,
+		Now:          c.Eng.Now(),
+		PID:          p.PID,
+		VA:           rec.Addr,
+		AS:           s.Krn.Process(p.PID).AS,
+		CurPriority:  p.Spec.Priority,
+		BusyChannels: s.Krn.Device().BusyChannelsAt(c.Eng.Now()),
+		Channels:     s.Krn.Device().Config().Channels,
 	}
 	if next := c.Sch.NextToRun(); next != -1 {
 		ctx.HasNext = true
 		ctx.NextPriority = s.Procs[next].Spec.Priority
 	}
 	d := c.Pol.Decide(&ctx)
+	if d.PrefetchThrottled {
+		p.Met.PrefetchThrottled++
+		if s.Want[obs.EvPrefetchThrottle] {
+			c.Emit(obs.Event{Time: c.Eng.Now(), Type: obs.EvPrefetchThrottle, PID: p.PID,
+				VA: rec.Addr, Value: int64(ctx.BusyChannels)})
+		}
+	}
 	if d.DispatchCost > 0 {
 		c.advance(p, d.DispatchCost)
 		s.Krn.ChargeHandler(d.DispatchCost)
@@ -479,10 +488,26 @@ func (c *Core) majorFault(p *Proc, rec trace.Record) (blocked bool) {
 
 	// Hybrid polling (Spin_Block): if the I/O will outlive the spin
 	// threshold, burn the threshold busy-waiting and then block for the
-	// remainder.
-	if d.SpinThreshold > 0 && done-c.Eng.Now() > d.SpinThreshold {
-		p.Met.StorageWait += d.SpinThreshold
-		c.advance(p, d.SpinThreshold)
+	// remainder. The executor-level spin budget extends the same bounded
+	// spin to every otherwise-unbounded synchronous wait: when a
+	// misbehaving device (tail spike, channel stall, retried DMA) pushes
+	// the predicted window past the budget, the wait demotes to an async
+	// context switch instead of burning the core — ITS degrades toward
+	// Vanilla_Async rather than spinning out the fault.
+	spin, spinCause := d.SpinThreshold, "spin"
+	if spin <= 0 && s.Cfg.SpinBudget > 0 {
+		spin, spinCause = s.Cfg.SpinBudget, "demote"
+	}
+	if spin > 0 && done-c.Eng.Now() > spin {
+		if spinCause == "demote" {
+			p.Met.Demotions++
+			if s.Want[obs.EvDemote] {
+				c.Emit(obs.Event{Time: c.Eng.Now(), Type: obs.EvDemote, PID: p.PID,
+					VA: rec.Addr, Dur: done - c.Eng.Now(), Value: int64(spin)})
+			}
+		}
+		p.Met.StorageWait += spin
+		c.advance(p, spin)
 		c.Sch.Block(p.PID)
 		p.blockedAt = c.Eng.Now()
 		p.wasBlocked = true
@@ -490,7 +515,7 @@ func (c *Core) majorFault(p *Proc, rec trace.Record) (blocked bool) {
 			c.Emit(obs.Event{Time: c.Eng.Now(), Type: obs.EvBlock, PID: p.PID,
 				VA: rec.Addr, Dur: c.Eng.Now() - c.DispatchedAt})
 		}
-		c.scheduleFaultEnd(p, rec.Addr, faultStart, done, "spin")
+		c.scheduleFaultEnd(p, rec.Addr, faultStart, done, spinCause)
 		c.Eng.Schedule(done, func(sim.Time) { c.Sch.Unblock(p.PID) })
 		c.chargeSwitch(p)
 		return true

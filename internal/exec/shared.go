@@ -6,6 +6,7 @@ import (
 	"itsim/internal/bus"
 	"itsim/internal/cache"
 	"itsim/internal/cpu"
+	"itsim/internal/fault"
 	"itsim/internal/kernel"
 	"itsim/internal/mem"
 	"itsim/internal/metrics"
@@ -113,6 +114,9 @@ func NewShared(cfg Config, pols []policy.Policy, batchName string, specs []Proce
 
 	link := bus.New(cfg.BusLanes, cfg.LaneBandwidth)
 	dev := storage.New(cfg.Device, link)
+	if cfg.Fault.Enabled() {
+		dev.SetInjector(fault.New(cfg.Fault))
+	}
 	s := &Shared{
 		Cfg:      cfg,
 		Krn:      kernel.New(mem.NewDRAM(frames, cfg.Replacement), dev),
@@ -247,6 +251,24 @@ func (s *Shared) RefreshWant() {
 	aud := s.Cores[0].Aud
 	for i := range s.Want {
 		s.Want[i] = aud.Wants(obs.Type(i)) || s.Trc.Wants(obs.Type(i))
+	}
+}
+
+// CollectInjection copies the fault injector's end-of-run counters (plus
+// the kernel's retry count) into the run record. With no injector
+// attached it leaves Run.Injection nil, so fault-free summaries keep the
+// historical byte layout. Both run loops call it after the last event.
+func (s *Shared) CollectInjection() {
+	inj := s.Krn.Device().Injector()
+	if inj == nil {
+		return
+	}
+	st := inj.Stats()
+	s.Run.Injection = &metrics.InjectionStats{
+		TailSpikes:    st.TailSpikes,
+		ChannelStalls: st.ChannelStalls,
+		DMAFailures:   st.DMAFailures,
+		DMARetries:    s.Krn.Stats().DMARetries,
 	}
 }
 

@@ -1,0 +1,190 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"itsim/internal/sim"
+)
+
+// Two injectors with the same config must make the same decision sequence —
+// the foundation of byte-identical runs under faults.
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, TailProb: 0.3, StallProb: 0.2, DMAFailProb: 0.4}
+	a, b := New(cfg), New(cfg)
+	for i := 0; i < 1000; i++ {
+		am, aok := a.Tail()
+		bm, bok := b.Tail()
+		if am != bm || aok != bok {
+			t.Fatalf("tail decision %d diverged: (%v,%v) vs (%v,%v)", i, am, aok, bm, bok)
+		}
+		aw, aok := a.Stall()
+		bw, bok := b.Stall()
+		if aw != bw || aok != bok {
+			t.Fatalf("stall decision %d diverged", i)
+		}
+		if a.DMAFail(0) != b.DMAFail(0) {
+			t.Fatalf("dma decision %d diverged", i)
+		}
+	}
+	if a.Stats() != b.Stats() {
+		t.Fatalf("stats diverged: %+v vs %+v", a.Stats(), b.Stats())
+	}
+	if a.Stats().TailSpikes == 0 || a.Stats().ChannelStalls == 0 || a.Stats().DMAFailures == 0 {
+		t.Fatalf("expected every axis to fire over 1000 draws: %+v", a.Stats())
+	}
+}
+
+// Each fault axis draws from its own stream: changing one probability must
+// not reshuffle the decisions of the others.
+func TestStreamIndependence(t *testing.T) {
+	base := Config{Seed: 7, TailProb: 0.25, StallProb: 0.25, DMAFailProb: 0.25}
+	bumped := base
+	bumped.StallProb = 0.9 // perturb one axis only
+
+	a, b := New(base), New(bumped)
+	for i := 0; i < 500; i++ {
+		if _, aok := a.Tail(); func() bool { _, bok := b.Tail(); return bok }() != aok {
+			t.Fatalf("tail decision %d changed when only stall probability moved", i)
+		}
+		a.Stall()
+		b.Stall()
+		if a.DMAFail(0) != b.DMAFail(0) {
+			t.Fatalf("dma decision %d changed when only stall probability moved", i)
+		}
+	}
+}
+
+// A zero probability must not consume entropy: interleaving no-op axes
+// cannot perturb the active one.
+func TestZeroProbabilityDrawsNothing(t *testing.T) {
+	withIdle := New(Config{Seed: 3, TailProb: 0.5})
+	alone := New(Config{Seed: 3, TailProb: 0.5})
+	for i := 0; i < 300; i++ {
+		withIdle.Stall()    // StallProb 0: must not advance any stream
+		withIdle.DMAFail(0) // DMAFailProb 0: likewise
+		_, aok := withIdle.Tail()
+		_, bok := alone.Tail()
+		if aok != bok {
+			t.Fatalf("tail decision %d perturbed by zero-probability draws", i)
+		}
+	}
+	if st := withIdle.Stats(); st.ChannelStalls != 0 || st.DMAFailures != 0 {
+		t.Fatalf("zero-probability axes delivered faults: %+v", st)
+	}
+}
+
+// DMAFail must always succeed once the attempt counter reaches RetryMax —
+// the property that bounds every kernel retry loop.
+func TestDMAFailBoundedByRetryMax(t *testing.T) {
+	in := New(Config{Seed: 1, DMAFailProb: 1, RetryMax: 2})
+	if !in.DMAFail(0) || !in.DMAFail(1) {
+		t.Fatal("p=1 DMA failure did not fire below RetryMax")
+	}
+	for i := 0; i < 100; i++ {
+		if in.DMAFail(2) {
+			t.Fatal("DMAFail fired at attempt == RetryMax")
+		}
+	}
+}
+
+func TestNewAppliesDefaults(t *testing.T) {
+	got := New(Config{Seed: 9, TailProb: 0.1, StallProb: 0.1, DMAFailProb: 0.1}).Config()
+	if got.TailMult != DefaultTailMult {
+		t.Errorf("TailMult = %v, want %v", got.TailMult, DefaultTailMult)
+	}
+	if got.StallWindow != DefaultStallWindow {
+		t.Errorf("StallWindow = %v, want %v", got.StallWindow, DefaultStallWindow)
+	}
+	if got.RetryMax != DefaultRetryMax {
+		t.Errorf("RetryMax = %v, want %v", got.RetryMax, DefaultRetryMax)
+	}
+	if got.RetryBackoff != DefaultRetryBackoff {
+		t.Errorf("RetryBackoff = %v, want %v", got.RetryBackoff, DefaultRetryBackoff)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Error("zero config reports enabled")
+	}
+	if (Config{TailMult: 8, StallWindow: sim.Millisecond, RetryMax: 5}).Enabled() {
+		t.Error("config with knobs but no probabilities reports enabled")
+	}
+	for _, c := range []Config{{TailProb: 0.1}, {StallProb: 0.1}, {DMAFailProb: 0.1}} {
+		if !c.Enabled() {
+			t.Errorf("%+v reports disabled", c)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"typical", Config{TailProb: 0.01, TailMult: 8, StallProb: 0.001, StallWindow: 50 * sim.Microsecond, DMAFailProb: 0.005, RetryMax: 3, RetryBackoff: sim.Microsecond}, true},
+		{"prob one", Config{TailProb: 1, StallProb: 1, DMAFailProb: 1}, true},
+		{"negative tail prob", Config{TailProb: -0.1}, false},
+		{"tail prob above one", Config{TailProb: 1.1}, false},
+		{"negative stall prob", Config{StallProb: -1}, false},
+		{"negative dma prob", Config{DMAFailProb: -0.5}, false},
+		{"tail mult below one", Config{TailMult: 0.5}, false},
+		{"negative stall window", Config{StallWindow: -1}, false},
+		{"negative retry max", Config{RetryMax: -1}, false},
+		{"negative backoff", Config{RetryBackoff: -1}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	got, err := ParseSpec("seed=42, tailp=0.01, tailx=8, stallp=0.001, stallw=50us, dmap=0.005, retries=4, backoff=2us")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Config{
+		Seed: 42, TailProb: 0.01, TailMult: 8,
+		StallProb: 0.001, StallWindow: 50 * sim.Microsecond,
+		DMAFailProb: 0.005, RetryMax: 4, RetryBackoff: 2 * sim.Microsecond,
+	}
+	if got != want {
+		t.Fatalf("ParseSpec = %+v, want %+v", got, want)
+	}
+
+	if got, err := ParseSpec(""); err != nil || got.Enabled() {
+		t.Fatalf("empty spec: %+v, %v", got, err)
+	}
+	if got, err := ParseSpec("seed=0x10"); err != nil || got.Seed != 16 {
+		t.Fatalf("hex seed: %+v, %v", got, err)
+	}
+
+	for _, bad := range []string{
+		"tailp",       // no value
+		"frob=1",      // unknown key
+		"tailp=lots",  // unparseable float
+		"stallw=50",   // duration without unit
+		"retries=1.5", // non-integer
+		"tailp=2",     // fails validation
+		"tailx=0.5",   // multiplier below 1
+		"seed=-1",     // negative uint
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+	if _, err := ParseSpec("frob=1"); err == nil || !strings.Contains(err.Error(), "known:") {
+		t.Errorf("unknown-key error does not list known keys: %v", err)
+	}
+}

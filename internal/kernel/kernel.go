@@ -61,6 +61,7 @@ type Stats struct {
 	SwapOuts     uint64
 	Evictions    uint64
 	FirstTouches uint64 // major faults caused by a page's first access
+	DMARetries   uint64 // swap-in reads resubmitted after a transient DMA failure
 	HandlerTime  sim.Time
 }
 
@@ -238,7 +239,7 @@ func (k *Kernel) StartSwapIn(now sim.Time, pid int, va uint64, prefetched bool) 
 		}
 	}
 	k.dram.Pin(id)
-	done := k.dev.SubmitPage(now, storage.Read, slot)
+	done := k.submitRead(now, pid, va, slot)
 	k.stats.SwapIns++
 	if !prefetched {
 		k.stats.MajorFaults++
@@ -253,6 +254,49 @@ func (k *Kernel) StartSwapIn(now sim.Time, pid int, va uint64, prefetched bool) 
 	out.Frame = id
 	out.Done = done
 	return out
+}
+
+// submitRead issues the swap-in DMA read. With no fault injector attached
+// this is exactly one SubmitPage — the historical path. Under injection it
+// follows the Linux swap path's error handling (cf. Zhong et al.,
+// "Revisiting Swapping in User-space"): a transient DMA failure is
+// retried with exponential backoff, bounded because the injector never
+// fails an attempt at its configured retry maximum. Each injected fault
+// observed on the swap-in path is emitted as a typed event, all stamped
+// at the submission time with the injected delay in Dur so the event
+// stream stays tidy.
+func (k *Kernel) submitRead(now sim.Time, pid int, va, slot uint64) sim.Time {
+	inj := k.dev.Injector()
+	if inj == nil {
+		return k.dev.SubmitPage(now, storage.Read, slot)
+	}
+	backoff := inj.Config().RetryBackoff
+	at := now
+	for attempt := 0; ; attempt++ {
+		res := k.dev.SubmitPageRetry(at, storage.Read, slot, attempt)
+		if k.trc.Wants(obs.EvFaultInject) {
+			if res.Stalled > 0 {
+				k.trc.Emit(obs.Event{Time: now, Type: obs.EvFaultInject, PID: pid, Core: k.core, VA: va, Dur: res.Stalled, Cause: "stall"})
+			}
+			if res.InjectedTail > 0 {
+				k.trc.Emit(obs.Event{Time: now, Type: obs.EvFaultInject, PID: pid, Core: k.core, VA: va, Dur: res.InjectedTail, Cause: "tail"})
+			}
+			if res.Failed {
+				k.trc.Emit(obs.Event{Time: now, Type: obs.EvFaultInject, PID: pid, Core: k.core, VA: va, Cause: "dma"})
+			}
+		}
+		if !res.Failed {
+			return res.Done
+		}
+		k.stats.DMARetries++
+		if k.trc.Wants(obs.EvIORetry) {
+			k.trc.Emit(obs.Event{Time: now, Type: obs.EvIORetry, PID: pid, Core: k.core, VA: va, Dur: backoff, Value: int64(attempt + 1)})
+		}
+		// The failure is detected at the would-be completion time; the
+		// resubmission waits out the backoff on top of that.
+		at = res.Done + backoff
+		backoff *= 2
+	}
 }
 
 // evict swaps a victim frame out: writes it back if dirty and returns its

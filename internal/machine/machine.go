@@ -138,6 +138,7 @@ func (m *Machine) Run() (*metrics.Run, error) {
 	s.Run.Makespan = c.Eng.Now()
 	c.Emit(obs.Event{Time: s.Run.Makespan, Type: obs.EvRunEnd, PID: -1})
 	c.Eng.RunUntilIdle() // drain trailing prefetch/write-back completions
+	s.CollectInjection()
 	if err := c.Aud.Err(); err != nil {
 		return s.Run, fmt.Errorf("machine: accounting audit failed: %w", err)
 	}

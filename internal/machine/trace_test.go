@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"itsim/internal/fault"
 	"itsim/internal/obs"
 	"itsim/internal/policy"
 	"itsim/internal/sim"
@@ -236,6 +237,76 @@ func TestGaugeSampling(t *testing.T) {
 				t.Fatalf("gauge %q not monotonic: %v after %v", name, ts[i], ts[i-1])
 			}
 		}
+	}
+}
+
+// A faulty run with demotion and prefetch throttling enabled must surface
+// every degradation decision as a typed event: injections (with their
+// cause), kernel retries, spin-budget demotions (and the matching "demote"
+// fault-window mode), and throttled prefetch walks.
+func TestFaultEventsTraced(t *testing.T) {
+	batch := workload.Batches()[2]
+	gens := batch.Generators(0.02)
+	specs := make([]ProcessSpec, len(gens))
+	for j, g := range gens {
+		specs[j] = ProcessSpec{Name: g.Name(), Gen: g, Priority: batch.Priorities[j], BaseVA: workload.BaseVA}
+	}
+	cfg := testConfig()
+	cfg.Fault = fault.Config{Seed: 42, TailProb: 0.2, TailMult: 16, StallProb: 0.01, DMAFailProb: 0.05}
+	cfg.SpinBudget = 4 * sim.Microsecond
+	m := New(cfg, policy.NewITS(policy.ITSConfig{PrefetchThrottleFraction: 0.1}), batch.Name, specs)
+	ring := obs.NewRing(1 << 20)
+	m.Instrument(obs.NewTracer(ring, obs.Filter{}), 0)
+	if _, err := m.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ring.Dropped() > 0 {
+		t.Fatalf("ring dropped %d events; enlarge the buffer", ring.Dropped())
+	}
+
+	injects := map[string]int{}
+	var retries, demotes, throttles, demoteEnds int
+	for _, ev := range ring.Events() {
+		switch ev.Type {
+		case obs.EvFaultInject:
+			injects[ev.Cause]++
+			if ev.Dur <= 0 && ev.Cause != "dma" {
+				t.Fatalf("FaultInject %q with no injected delay: %+v", ev.Cause, ev)
+			}
+		case obs.EvIORetry:
+			retries++
+			if ev.Value < 1 {
+				t.Fatalf("IORetry with attempt %d", ev.Value)
+			}
+		case obs.EvDemote:
+			demotes++
+			if ev.Dur <= sim.Time(ev.Value) {
+				t.Fatalf("Demote with predicted wait %v not over budget %v", ev.Dur, sim.Time(ev.Value))
+			}
+		case obs.EvPrefetchThrottle:
+			throttles++
+		case obs.EvMajorFaultEnd:
+			if ev.Cause == "demote" {
+				demoteEnds++
+			}
+		}
+	}
+	for _, cause := range []string{"tail", "stall", "dma"} {
+		if injects[cause] == 0 {
+			t.Errorf("no %q FaultInject events", cause)
+		}
+	}
+	if retries == 0 {
+		t.Error("no IORetry events despite DMA failures")
+	}
+	if demotes == 0 {
+		t.Error("no Demote events despite tail spikes over the spin budget")
+	}
+	if demotes != demoteEnds {
+		t.Errorf("Demote events (%d) != demote-mode fault windows (%d)", demotes, demoteEnds)
+	}
+	if throttles == 0 {
+		t.Error("no PrefetchThrottle events despite a saturated device")
 	}
 }
 

@@ -86,6 +86,14 @@ type Process struct {
 	PreexecInstrs uint64
 	PreexecValid  uint64
 	PreexecFills  uint64
+
+	// Demotions counts synchronous waits the executor's spin budget
+	// demoted to asynchronous context switches (graceful degradation
+	// under a misbehaving device). PrefetchThrottled counts prefetch
+	// walks ITS skipped because the busy-channel gauge saturated. Both
+	// are zero — and omitted from JSON — on a healthy device.
+	Demotions         uint64 `json:"Demotions,omitempty"`
+	PrefetchThrottled uint64 `json:"PrefetchThrottled,omitempty"`
 }
 
 // IdleTime returns the process-attributed idle time (memory stalls plus
@@ -160,6 +168,26 @@ type Run struct {
 	// BlockedHist is the distribution of asynchronous block→dispatch
 	// waits.
 	BlockedHist *Histogram
+
+	// Injection summarizes fault-injector activity and the kernel's
+	// retry response; nil (and omitted from JSON) when no injector was
+	// attached, so fault-free summaries are byte-identical to the
+	// pre-fault format.
+	Injection *InjectionStats `json:"Injection,omitempty"`
+}
+
+// InjectionStats counts delivered device faults and kernel retries over a
+// run with fault injection enabled.
+type InjectionStats struct {
+	// TailSpikes / ChannelStalls / DMAFailures count faults the injector
+	// delivered.
+	TailSpikes    uint64 `json:"tail_spikes,omitempty"`
+	ChannelStalls uint64 `json:"channel_stalls,omitempty"`
+	DMAFailures   uint64 `json:"dma_failures,omitempty"`
+	// DMARetries counts the kernel's backoff resubmissions (equal to
+	// DMAFailures minus failures still unresolved at run end — in
+	// practice equal, since every failed read is retried immediately).
+	DMARetries uint64 `json:"dma_retries,omitempty"`
 }
 
 // NewRun creates an empty run record.
@@ -232,6 +260,24 @@ func (r *Run) TotalContextSwitches() uint64 {
 	var n uint64
 	for _, p := range r.Procs {
 		n += p.ContextSwitches
+	}
+	return n
+}
+
+// TotalDemotions sums spin-budget demotions across processes.
+func (r *Run) TotalDemotions() uint64 {
+	var n uint64
+	for _, p := range r.Procs {
+		n += p.Demotions
+	}
+	return n
+}
+
+// TotalPrefetchThrottled sums gauge-throttled prefetch walks.
+func (r *Run) TotalPrefetchThrottled() uint64 {
+	var n uint64
+	for _, p := range r.Procs {
+		n += p.PrefetchThrottled
 	}
 	return n
 }

@@ -72,6 +72,13 @@ type Summary struct {
 	SyncWait HistogramSnapshot `json:"sync_wait"`
 	Blocked  HistogramSnapshot `json:"blocked"`
 
+	// DemotedWaits / PrefetchThrottled / Injection report the
+	// graceful-degradation machinery; all omitted when zero/nil so
+	// fault-free summaries keep the historical byte layout.
+	DemotedWaits      uint64          `json:"demoted_waits,omitempty"`
+	PrefetchThrottled uint64          `json:"prefetch_throttled,omitempty"`
+	Injection         *InjectionStats `json:"fault_injection,omitempty"`
+
 	// Cores carries per-core counters on multi-core runs (absent on the
 	// legacy single-core machine).
 	Cores []*Core `json:"cores,omitempty"`
@@ -100,6 +107,9 @@ func (r *Run) Summary() Summary {
 		BottomHalfAvgFinishNs: int64(r.BottomHalfAvgFinish()),
 		SyncWait:              r.SyncWaitHist.Snapshot(),
 		Blocked:               r.BlockedHist.Snapshot(),
+		DemotedWaits:          r.TotalDemotions(),
+		PrefetchThrottled:     r.TotalPrefetchThrottled(),
+		Injection:             r.Injection,
 		Cores:                 r.Cores,
 		Procs:                 r.Procs,
 	}

@@ -184,6 +184,18 @@ func (c *Chrome) Write(ev Event) {
 		c.instant(ev, c.ktrack(ev, tidSwap, "swap"), "evict", map[string]any{"pid": ev.PID, "va": hexVA(ev.VA)})
 	case EvWriteBack:
 		c.instant(ev, c.ktrack(ev, tidSwap, "swap"), "writeback", map[string]any{"pid": ev.PID, "va": hexVA(ev.VA)})
+	case EvFaultInject:
+		c.instant(ev, c.ktrack(ev, tidSwap, "swap"), "fault-inject",
+			map[string]any{"pid": ev.PID, "va": hexVA(ev.VA), "kind": ev.Cause, "delay_ns": int64(ev.Dur)})
+	case EvIORetry:
+		c.instant(ev, c.ktrack(ev, tidSwap, "swap"), "io-retry",
+			map[string]any{"pid": ev.PID, "va": hexVA(ev.VA), "attempt": ev.Value, "backoff_ns": int64(ev.Dur)})
+	case EvDemote:
+		c.instant(ev, c.thread(ev.PID+1, "proc"), "demote",
+			map[string]any{"va": hexVA(ev.VA), "predicted_ns": int64(ev.Dur), "budget_ns": ev.Value})
+	case EvPrefetchThrottle:
+		c.instant(ev, c.ktrack(ev, tidPrefetch, "its-prefetch"), "prefetch-throttle",
+			map[string]any{"pid": ev.PID, "busy_channels": ev.Value})
 	case EvGauge:
 		c.put(chromeEvent{Name: ev.Cause, Ph: "C", Ts: us(int64(ev.Time)), PID: c.run, TID: 0,
 			Args: map[string]any{"value": ev.Value}})

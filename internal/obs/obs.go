@@ -102,35 +102,54 @@ const (
 	// EvGauge is a periodic virtual-time gauge sample (Cause = gauge
 	// name, Value = sampled value).
 	EvGauge
+	// EvFaultInject is an injected device fault observed on the swap path
+	// (Cause = "tail" / "stall" / "dma", Dur = injected delay for
+	// tail/stall).
+	EvFaultInject
+	// EvIORetry is a kernel resubmission of a failed DMA read (Value =
+	// the retry attempt number, Dur = the backoff delay before it).
+	EvIORetry
+	// EvDemote is a spin-budget demotion: a synchronous wait whose
+	// predicted window exceeded the budget was downgraded to an async
+	// context switch (Dur = predicted wait, Value = the budget).
+	EvDemote
+	// EvPrefetchThrottle is ITS skipping a prefetch walk because the
+	// busy-channel gauge saturated (Value = busy channels at decision
+	// time).
+	EvPrefetchThrottle
 
 	// NumTypes is the number of event types (array sizing).
 	NumTypes
 )
 
 var typeNames = [NumTypes]string{
-	EvRunBegin:        "RunBegin",
-	EvRunEnd:          "RunEnd",
-	EvDispatch:        "Dispatch",
-	EvPreempt:         "Preempt",
-	EvBlock:           "Block",
-	EvUnblock:         "Unblock",
-	EvSliceExpiry:     "SliceExpiry",
-	EvProcFinish:      "ProcFinish",
-	EvContextSwitch:   "ContextSwitch",
-	EvSchedIdleBegin:  "SchedulerIdleBegin",
-	EvSchedIdleEnd:    "SchedulerIdleEnd",
-	EvMajorFaultBegin: "MajorFaultBegin",
-	EvMajorFaultEnd:   "MajorFaultEnd",
-	EvPrefetchIssue:   "PrefetchIssue",
-	EvPrefetchDrop:    "PrefetchDrop",
-	EvPrefetchHit:     "PrefetchHit",
-	EvPrefetchWalk:    "PrefetchWalk",
-	EvPreexecWindow:   "PreexecWindow",
-	EvRecovery:        "Recovery",
-	EvSwapIn:          "SwapIn",
-	EvEvict:           "Evict",
-	EvWriteBack:       "WriteBack",
-	EvGauge:           "Gauge",
+	EvRunBegin:         "RunBegin",
+	EvRunEnd:           "RunEnd",
+	EvDispatch:         "Dispatch",
+	EvPreempt:          "Preempt",
+	EvBlock:            "Block",
+	EvUnblock:          "Unblock",
+	EvSliceExpiry:      "SliceExpiry",
+	EvProcFinish:       "ProcFinish",
+	EvContextSwitch:    "ContextSwitch",
+	EvSchedIdleBegin:   "SchedulerIdleBegin",
+	EvSchedIdleEnd:     "SchedulerIdleEnd",
+	EvMajorFaultBegin:  "MajorFaultBegin",
+	EvMajorFaultEnd:    "MajorFaultEnd",
+	EvPrefetchIssue:    "PrefetchIssue",
+	EvPrefetchDrop:     "PrefetchDrop",
+	EvPrefetchHit:      "PrefetchHit",
+	EvPrefetchWalk:     "PrefetchWalk",
+	EvPreexecWindow:    "PreexecWindow",
+	EvRecovery:         "Recovery",
+	EvSwapIn:           "SwapIn",
+	EvEvict:            "Evict",
+	EvWriteBack:        "WriteBack",
+	EvGauge:            "Gauge",
+	EvFaultInject:      "FaultInject",
+	EvIORetry:          "IORetry",
+	EvDemote:           "Demote",
+	EvPrefetchThrottle: "PrefetchThrottle",
 }
 
 // String names the type as used in filters and JSONL output.

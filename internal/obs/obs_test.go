@@ -271,6 +271,53 @@ func TestChromeOutput(t *testing.T) {
 	}
 }
 
+// The degradation events must render as instants on their owning tracks:
+// injections and retries on the swap track, throttles on the prefetch
+// track, demotions on the faulting process's own track.
+func TestChromeFaultRecords(t *testing.T) {
+	var buf bytes.Buffer
+	c := NewChrome(&buf)
+	c.Write(Event{Time: 0, Type: EvRunBegin, PID: -1, Cause: "ITS/2_Data_Intensive"})
+	c.Write(Event{Time: 1000, Type: EvFaultInject, PID: 0, VA: 0x3000, Cause: "tail", Dur: 7000})
+	c.Write(Event{Time: 2000, Type: EvIORetry, PID: 0, VA: 0x3000, Value: 2, Dur: 4000})
+	c.Write(Event{Time: 3000, Type: EvDemote, PID: 0, VA: 0x3000, Dur: 9000, Value: 4000})
+	c.Write(Event{Time: 4000, Type: EvPrefetchThrottle, PID: 0, Value: 8})
+	c.Write(Event{Time: 5000, Type: EvRunEnd, PID: -1})
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	doc := decodeChrome(t, buf.Bytes())
+	byName := map[string]struct {
+		tid  int
+		args map[string]any
+	}{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "i" {
+			byName[ev.Name] = struct {
+				tid  int
+				args map[string]any
+			}{ev.TID, ev.Args}
+		}
+	}
+	inj, ok := byName["fault-inject"]
+	if !ok || inj.tid != tidSwap || inj.args["kind"] != "tail" || inj.args["delay_ns"] != float64(7000) {
+		t.Fatalf("fault-inject record: ok=%v %+v", ok, inj)
+	}
+	retry, ok := byName["io-retry"]
+	if !ok || retry.tid != tidSwap || retry.args["attempt"] != float64(2) {
+		t.Fatalf("io-retry record: ok=%v %+v", ok, retry)
+	}
+	dem, ok := byName["demote"]
+	if !ok || dem.tid != 1 || dem.args["predicted_ns"] != float64(9000) || dem.args["budget_ns"] != float64(4000) {
+		t.Fatalf("demote record: ok=%v %+v", ok, dem)
+	}
+	thr, ok := byName["prefetch-throttle"]
+	if !ok || thr.tid != tidPrefetch || thr.args["busy_channels"] != float64(8) {
+		t.Fatalf("prefetch-throttle record: ok=%v %+v", ok, thr)
+	}
+}
+
 func TestOpenFileSinkRejectsUnknownFormat(t *testing.T) {
 	if _, err := OpenFileSink(filepath.Join(t.TempDir(), "x"), "nope"); err == nil {
 		t.Fatal("unknown format accepted")

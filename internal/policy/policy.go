@@ -110,6 +110,12 @@ type Context struct {
 	// when HasNext. This is the §3.2 comparison input.
 	NextPriority int
 	HasNext      bool
+	// BusyChannels / Channels is the storage device's channel occupancy
+	// at fault time — the busy_storage_channels gauge fed back into the
+	// decision so adaptive policies can throttle prefetch when the
+	// device saturates.
+	BusyChannels int
+	Channels     int
 }
 
 // Decision is what the machine executes for one major fault.
@@ -135,6 +141,10 @@ type Decision struct {
 	SpinThreshold sim.Time
 	// SelfSacrificing marks an ITS low-priority async decision (metrics).
 	SelfSacrificing bool
+	// PrefetchThrottled marks a prefetch walk skipped because the
+	// device's channel occupancy saturated (observability: the machine
+	// counts it and emits EvPrefetchThrottle).
+	PrefetchThrottled bool
 }
 
 // Policy decides how each major fault is handled.
@@ -214,6 +224,14 @@ type ITSConfig struct {
 	DisablePreExecute bool
 	// DisablePrefetch turns off §3.4.1 (ablation).
 	DisablePrefetch bool
+	// PrefetchThrottleFraction, in (0, 1], makes the prefetcher
+	// self-throttling: when at least this fraction of the device's
+	// channels is busy at fault time, the candidate walk is skipped
+	// entirely — the device has no spare parallelism for prefetch to
+	// ride, so the walk would only burn window time and drop its
+	// candidates at admission control. 0 disables throttling (the
+	// historical behaviour).
+	PrefetchThrottleFraction float64
 }
 
 // ITSPolicy is the paper's design. See package comment.
@@ -260,8 +278,12 @@ func (p *ITSPolicy) Decide(ctx *Context) Decision {
 		// the process is being switched out, so no busy-wait window is
 		// consumed.
 		if !p.cfg.DisablePrefetch {
-			res := p.walker.Candidates(ctx.AS, ctx.VA)
-			d.Prefetch = res.Pages
+			if p.throttled(ctx) {
+				d.PrefetchThrottled = true
+			} else {
+				res := p.walker.Candidates(ctx.AS, ctx.VA)
+				d.Prefetch = res.Pages
+			}
 		}
 		return d
 	}
@@ -271,10 +293,25 @@ func (p *ITSPolicy) Decide(ctx *Context) Decision {
 		DispatchCost: kernel.ITSDispatchCost,
 	}
 	if !p.cfg.DisablePrefetch {
-		res := p.walker.Candidates(ctx.AS, ctx.VA)
-		d.Prefetch = res.Pages
-		d.PrefetchWalkCost = res.WalkCost
-		d.PrefetchScanned = res.Scanned
+		if p.throttled(ctx) {
+			d.PrefetchThrottled = true
+		} else {
+			res := p.walker.Candidates(ctx.AS, ctx.VA)
+			d.Prefetch = res.Pages
+			d.PrefetchWalkCost = res.WalkCost
+			d.PrefetchScanned = res.Scanned
+		}
 	}
 	return d
+}
+
+// throttled is the §3.4.1 admission-control feedback loop closed at the
+// policy layer: when the busy_storage_channels signal says the device has
+// (almost) no idle channels, the walk's candidates would be dropped at
+// device admission anyway, so ITS skips the walk and keeps the window
+// time for pre-execution instead.
+func (p *ITSPolicy) throttled(ctx *Context) bool {
+	f := p.cfg.PrefetchThrottleFraction
+	return f > 0 && ctx.Channels > 0 &&
+		float64(ctx.BusyChannels) >= f*float64(ctx.Channels)
 }

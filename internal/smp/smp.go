@@ -209,6 +209,7 @@ func (m *Machine) Run() (*metrics.Run, error) {
 			return s.Run, fmt.Errorf("smp: core %d accounting audit failed: %w", c.ID, err)
 		}
 	}
+	s.CollectInjection()
 	return s.Run, nil
 }
 

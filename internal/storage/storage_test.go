@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"itsim/internal/bus"
+	"itsim/internal/fault"
 	"itsim/internal/sim"
 )
 
@@ -155,5 +156,181 @@ func TestSlotStripingCoversChannels(t *testing.T) {
 	}
 	if len(seen) != 4 {
 		t.Fatalf("striping used %d channels, want 4", len(seen))
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		ok   bool
+	}{
+		{"zero", Config{}, true},
+		{"defaults", DefaultConfig(), true},
+		{"negative read latency", Config{ReadLatency: -1}, false},
+		{"negative write latency", Config{WriteLatency: -1}, false},
+		{"negative channels", Config{Channels: -4}, false},
+		{"negative dma setup", Config{DMASetup: -sim.Nanosecond}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.cfg.Validate()
+			if tc.ok && err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if !tc.ok && err == nil {
+				t.Fatal("invalid config accepted")
+			}
+		})
+	}
+}
+
+// Zero DMASetup is "unset", not "free": New must default it exactly like the
+// other zero-valued knobs, so a config can no longer slip a 0-cost DMA setup
+// past defaulting while Validate calls the same value legal.
+func TestZeroDMASetupDefaults(t *testing.T) {
+	d := New(Config{DMASetup: 0}, fastLink())
+	if got := d.Config().DMASetup; got != DefaultDMASetup {
+		t.Fatalf("DMASetup = %v, want default %v", got, DefaultDMASetup)
+	}
+}
+
+// --- fault injection at the device boundary ---
+
+// injected returns a device whose injector has the given config.
+func injected(t *testing.T, cfg fault.Config) *Device {
+	t.Helper()
+	d := New(DefaultConfig(), fastLink())
+	d.SetInjector(fault.New(cfg))
+	return d
+}
+
+func TestInjectedTailLengthensRead(t *testing.T) {
+	clean := New(DefaultConfig(), fastLink())
+	spiky := injected(t, fault.Config{Seed: 1, TailProb: 1, TailMult: 8})
+
+	base := clean.SubmitPage(0, Read, 0)
+	out := spiky.SubmitRetry(0, Read, 0, 4096, -1)
+	if out.InjectedTail != 7*DefaultReadLatency {
+		t.Fatalf("InjectedTail = %v, want %v", out.InjectedTail, 7*DefaultReadLatency)
+	}
+	if got := out.Done - base; got != out.InjectedTail {
+		t.Fatalf("spiked read finished %v later than clean, want %v", got, out.InjectedTail)
+	}
+	if st := spiky.Injector().Stats(); st.TailSpikes != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInjectedStallChargesQueueDelay(t *testing.T) {
+	window := 50 * sim.Microsecond
+	d := injected(t, fault.Config{Seed: 1, StallProb: 1, StallWindow: window})
+
+	clean := New(DefaultConfig(), fastLink())
+	base := clean.SubmitPage(0, Read, 0)
+	out := d.SubmitRetry(0, Read, 0, 4096, -1)
+	if out.Stalled != window {
+		t.Fatalf("Stalled = %v, want %v", out.Stalled, window)
+	}
+	if got := out.Done - base; got != window {
+		t.Fatalf("stalled read finished %v later than clean, want %v", got, window)
+	}
+	if d.Stats().QueueDelay < window {
+		t.Fatalf("stall window not charged as queue delay: %v", d.Stats().QueueDelay)
+	}
+}
+
+func TestDMAFailureProtocol(t *testing.T) {
+	d := injected(t, fault.Config{Seed: 1, DMAFailProb: 1, RetryMax: 3})
+
+	// Attempts below RetryMax fail; the time is spent either way.
+	out := d.SubmitPageRetry(0, Read, 0, 0)
+	if !out.Failed {
+		t.Fatal("p=1 DMA failure did not fire")
+	}
+	if out.Done <= 0 {
+		t.Fatal("failed transfer reported no elapsed time")
+	}
+	// At attempt == RetryMax the injector guarantees success.
+	out = d.SubmitPageRetry(out.Done, Read, 0, 3)
+	if out.Failed {
+		t.Fatal("transfer failed at attempt == RetryMax")
+	}
+}
+
+func TestPlainSubmitNeverFails(t *testing.T) {
+	d := injected(t, fault.Config{Seed: 1, DMAFailProb: 1})
+	// Submit is outside the retry protocol: the failure stream must be
+	// neither consulted nor advanced.
+	d.SubmitPage(0, Read, 0)
+	if st := d.Injector().Stats(); st.DMAFailures != 0 {
+		t.Fatalf("plain Submit drew from the dma stream: %+v", st)
+	}
+}
+
+func TestWriteBacksNeverFail(t *testing.T) {
+	d := injected(t, fault.Config{Seed: 1, DMAFailProb: 1})
+	out := d.SubmitRetry(0, Write, 0, 4096, 0)
+	if out.Failed {
+		t.Fatal("write-back failed; only reads participate in the failure model")
+	}
+}
+
+// --- prefetch-burst channel queueing ---
+
+// A prefetch burst against one channel serializes at exactly the device
+// service time per request; the same burst striped across channels overlaps.
+func TestPrefetchBurstSameChannelSerializes(t *testing.T) {
+	d := New(DefaultConfig(), fastLink())
+	const burst = 4
+	var dones []sim.Time
+	for i := 0; i < burst; i++ {
+		// Slots i*Channels all map to channel 0.
+		dones = append(dones, d.SubmitPage(0, Read, uint64(i*DefaultChannels)))
+	}
+	for i := 1; i < burst; i++ {
+		if gap := dones[i] - dones[i-1]; gap != DefaultReadLatency {
+			t.Fatalf("burst read %d finished %v after its predecessor, want exactly %v (flash serialization)",
+				i, gap, DefaultReadLatency)
+		}
+	}
+	// Total queue delay is the arithmetic series 1+2+3 service times.
+	want := sim.Time(burst*(burst-1)/2) * DefaultReadLatency
+	if got := d.Stats().QueueDelay; got != want {
+		t.Fatalf("QueueDelay = %v, want %v", got, want)
+	}
+}
+
+func TestPrefetchBurstCrossChannelOverlaps(t *testing.T) {
+	d := New(DefaultConfig(), fastLink())
+	const burst = 4
+	var last sim.Time
+	for slot := uint64(0); slot < burst; slot++ { // distinct channels
+		if done := d.SubmitPage(0, Read, slot); done > last {
+			last = done
+		}
+	}
+	// All flash reads overlap; only the bus transfers serialize.
+	budget := DefaultDMASetup + DefaultReadLatency + burst*300*sim.Nanosecond
+	if last > budget {
+		t.Fatalf("cross-channel burst finished at %v, want ≤ %v", last, budget)
+	}
+	if d.Stats().QueueDelay != 0 {
+		t.Fatalf("cross-channel burst queued: %v", d.Stats().QueueDelay)
+	}
+}
+
+// Demand reads queue behind an in-flight prefetch on the same channel — the
+// admission-control contract FreeChannelAt exists to let callers avoid.
+func TestDemandReadQueuesBehindPrefetch(t *testing.T) {
+	d := New(DefaultConfig(), fastLink())
+	d.SubmitPage(0, Read, 2) // "prefetch" occupying channel 2
+	if d.FreeChannelAt(2, sim.Microsecond) {
+		t.Fatal("channel reported free under in-flight prefetch")
+	}
+	demand := d.SubmitPage(sim.Microsecond, Read, uint64(2+DefaultChannels))
+	cleanBudget := sim.Microsecond + DefaultDMASetup + DefaultReadLatency + 400*sim.Nanosecond
+	if demand <= cleanBudget {
+		t.Fatalf("demand read at %v did not queue behind the prefetch (clean budget %v)", demand, cleanBudget)
 	}
 }
