@@ -1,0 +1,88 @@
+// Command itslint is the simulator's determinism lint suite: a go vet
+// -vettool multichecker bundling the four custom analyzers of
+// internal/analysis — simdeterminism, gospawn, vtime and eventsink — that
+// machine-check the invariants every figure in this repository rests on
+// (same seed ⇒ byte-identical summaries; see docs/LINTS.md).
+//
+// Two modes:
+//
+//	itslint run [packages...]
+//
+// builds nothing and drives `go vet -vettool=<itself>` over the packages
+// (default ./...), then prints the suppression summary — how many findings
+// //itslint:allow directives absorbed, per analyzer. This is the mode CI
+// and humans use.
+//
+// Any other invocation follows the x/tools unitchecker protocol, i.e. what
+// the go vet driver calls with a .cfg file per package:
+//
+//	go vet -vettool=$(command -v itslint) ./...
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+
+	"golang.org/x/tools/go/analysis/unitchecker"
+
+	"itsim/internal/analysis/eventsink"
+	"itsim/internal/analysis/gospawn"
+	"itsim/internal/analysis/itslint"
+	"itsim/internal/analysis/simdeterminism"
+	"itsim/internal/analysis/vtime"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "run" {
+		os.Exit(runMode(os.Args[2:]))
+	}
+	unitchecker.Main(
+		simdeterminism.Analyzer,
+		gospawn.Analyzer,
+		vtime.Analyzer,
+		eventsink.Analyzer,
+	)
+}
+
+// runMode self-drives go vet with this binary as the vettool, aggregating
+// per-package suppression counts through the $ITSLINT_SUMMARY side channel
+// into one summary line.
+func runMode(pkgs []string) int {
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itslint:", err)
+		return 2
+	}
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+	tmp, err := os.CreateTemp("", "itslint-summary-*")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itslint:", err)
+		return 2
+	}
+	tmp.Close()
+	defer os.Remove(tmp.Name())
+
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, pkgs...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	cmd.Env = append(os.Environ(), itslint.SummaryEnv+"="+tmp.Name())
+	vetErr := cmd.Run()
+
+	data, err := os.ReadFile(tmp.Name())
+	if err != nil {
+		data = nil
+	}
+	fmt.Fprintln(os.Stderr, itslint.FormatSummary(itslint.ParseSummary(data)))
+
+	if vetErr == nil {
+		return 0
+	}
+	if ee, ok := vetErr.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	fmt.Fprintln(os.Stderr, "itslint:", vetErr)
+	return 2
+}

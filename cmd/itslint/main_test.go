@@ -1,0 +1,62 @@
+package main_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunMode builds the multichecker and drives `itslint run` over one
+// real package end to end: the go vet -vettool handshake, the suppression
+// side channel, and the aggregated summary line on stderr.
+func TestRunMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and execs the vet toolchain; skipped in -short")
+	}
+	bin := filepath.Join(t.TempDir(), "itslint")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// internal/sched carries exactly three justified //itslint:allow
+	// directives (see docs/LINTS.md); the package must come up clean with
+	// those suppressions counted.
+	cmd := exec.Command(bin, "run", "./internal/sched")
+	cmd.Dir = repoRoot(t)
+	var stderr bytes.Buffer
+	cmd.Stdout = &stderr
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("itslint run ./internal/sched: %v\n%s", err, stderr.String())
+	}
+	out := stderr.String()
+	if !strings.Contains(out, "suppressed by //itslint:allow") {
+		t.Errorf("summary line missing from output:\n%s", out)
+	}
+	if !strings.Contains(out, "simdeterminism=3") {
+		t.Errorf("expected simdeterminism=3 suppressions in summary, got:\n%s", out)
+	}
+}
+
+// repoRoot walks up from the test's working directory to the go.mod.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}

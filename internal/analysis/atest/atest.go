@@ -1,0 +1,284 @@
+// Package atest is a minimal, dependency-free stand-in for
+// golang.org/x/tools/go/analysis/analysistest. The Go distribution vendors
+// the go/analysis framework (which cmd/itslint builds on) but not
+// analysistest or go/packages, and this repository builds offline, so the
+// fixture-driver is reimplemented here on stdlib go/parser + go/types.
+//
+// It follows the analysistest conventions: fixtures live in a GOPATH-style
+// tree (dir/src/<import/path>/*.go) and expected diagnostics are written as
+// trailing comments of the form
+//
+//	broken()            // want "regexp" "another regexp"
+//
+// Every expectation must be matched by a diagnostic reported on the same
+// line, and every diagnostic must match an expectation, else the test fails.
+// Fixture packages may import each other (resolved from the tree) and the
+// standard library (type-checked from GOROOT source, which works offline).
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// Run loads each fixture package and checks a's diagnostics against the
+// // want expectations in its files.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	l := newLoader(dir)
+	for _, path := range paths {
+		pi, err := l.load(path)
+		if err != nil {
+			t.Errorf("%s: loading fixture %s: %v", a.Name, path, err)
+			continue
+		}
+		diags := runAnalyzer(t, a, l, pi)
+		check(t, a.Name, l.fset, pi, diags)
+	}
+}
+
+// RunResult loads one fixture package and returns the raw diagnostics,
+// for tests that assert on suppression counts rather than // want lines.
+func RunResult(t *testing.T, dir string, a *analysis.Analyzer, path string) []analysis.Diagnostic {
+	t.Helper()
+	l := newLoader(dir)
+	pi, err := l.load(path)
+	if err != nil {
+		t.Fatalf("%s: loading fixture %s: %v", a.Name, path, err)
+	}
+	return runAnalyzer(t, a, l, pi)
+}
+
+type pkgInfo struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+type loader struct {
+	fset *token.FileSet
+	dir  string
+	std  types.Importer
+	pkgs map[string]*pkgInfo
+}
+
+func newLoader(dir string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset: fset,
+		dir:  dir,
+		std:  importer.ForCompiler(fset, "source", nil),
+		pkgs: make(map[string]*pkgInfo),
+	}
+}
+
+// load type-checks the fixture package at dir/src/<path>, resolving imports
+// from the fixture tree first and the standard library otherwise.
+func (l *loader) load(path string) (*pkgInfo, error) {
+	if pi, ok := l.pkgs[path]; ok {
+		return pi, nil
+	}
+	pdir := filepath.Join(l.dir, "src", filepath.FromSlash(path))
+	entries, err := os.ReadDir(pdir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(pdir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", pdir)
+	}
+	conf := types.Config{
+		Importer: importerFunc(func(ipath string) (*types.Package, error) {
+			if _, err := os.Stat(filepath.Join(l.dir, "src", filepath.FromSlash(ipath))); err == nil {
+				pi, err := l.load(ipath)
+				if err != nil {
+					return nil, err
+				}
+				return pi.pkg, nil
+			}
+			return l.std.Import(ipath)
+		}),
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	pkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pi := &pkgInfo{pkg: pkg, files: files, info: info}
+	l.pkgs[path] = pi
+	return pi, nil
+}
+
+type importerFunc func(path string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
+
+// runAnalyzer executes a (and, recursively, its Requires) on the package
+// and collects the diagnostics.
+func runAnalyzer(t *testing.T, a *analysis.Analyzer, l *loader, pi *pkgInfo) []analysis.Diagnostic {
+	t.Helper()
+	var diags []analysis.Diagnostic
+	results := make(map[*analysis.Analyzer]any)
+	var exec func(a *analysis.Analyzer, collect bool) any
+	exec = func(a *analysis.Analyzer, collect bool) any {
+		if r, ok := results[a]; ok {
+			return r
+		}
+		resultOf := make(map[*analysis.Analyzer]any)
+		for _, req := range a.Requires {
+			resultOf[req] = exec(req, false)
+		}
+		pass := &analysis.Pass{
+			Analyzer:   a,
+			Fset:       l.fset,
+			Files:      pi.files,
+			Pkg:        pi.pkg,
+			TypesInfo:  pi.info,
+			TypesSizes: types.SizesFor("gc", "amd64"),
+			ResultOf:   resultOf,
+			Report: func(d analysis.Diagnostic) {
+				if collect {
+					diags = append(diags, d)
+				}
+			},
+			ImportObjectFact:  func(obj types.Object, fact analysis.Fact) bool { return false },
+			ExportObjectFact:  func(obj types.Object, fact analysis.Fact) {},
+			ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool { return false },
+			ExportPackageFact: func(fact analysis.Fact) {},
+			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
+			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+		}
+		r, err := a.Run(pass)
+		if err != nil {
+			t.Fatalf("%s: Run failed on %s: %v", a.Name, pi.pkg.Path(), err)
+		}
+		results[a] = r
+		return r
+	}
+	exec(a, true)
+	return diags
+}
+
+// expectation is one // want regexp at a file:line.
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// check compares diagnostics against the // want comments of the fixture.
+func check(t *testing.T, name string, fset *token.FileSet, pi *pkgInfo, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pi.files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				i := strings.Index(text, "// want ")
+				if i < 0 {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, raw := range splitQuoted(text[i+len("// want "):]) {
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: %s:%d: bad want regexp %q: %v", name, pos.Filename, pos.Line, raw, err)
+						continue
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: raw})
+				}
+			}
+		}
+	}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		ok := false
+		for _, w := range wants {
+			if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("%s: %s:%d: unexpected diagnostic: %s", name, pos.Filename, pos.Line, d.Message)
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: %s:%d: expected diagnostic matching %q, got none", name, w.file, w.line, w.raw)
+		}
+	}
+}
+
+// splitQuoted parses the space-separated quoted regexps of a want comment:
+// "..." (interpreted) or `...` (raw) strings.
+func splitQuoted(s string) []string {
+	var out []string
+	s = strings.TrimSpace(s)
+	for s != "" {
+		switch s[0] {
+		case '"':
+			end := 1
+			for end < len(s) && (s[end] != '"' || s[end-1] == '\\') {
+				end++
+			}
+			if end >= len(s) {
+				return out
+			}
+			if unq, err := strconv.Unquote(s[:end+1]); err == nil {
+				out = append(out, unq)
+			}
+			s = strings.TrimSpace(s[end+1:])
+		case '`':
+			end := strings.Index(s[1:], "`")
+			if end < 0 {
+				return out
+			}
+			out = append(out, s[1:end+1])
+			s = strings.TrimSpace(s[end+2:])
+		default:
+			return out
+		}
+	}
+	return out
+}

@@ -1,0 +1,246 @@
+// Package eventsink guards the two output-layer invariants the regression
+// tooling depends on:
+//
+//  1. Sink exhaustiveness — every obs event kind must be handled (or
+//     explicitly defaulted) in every sink's Write switch. A new event type
+//     that silently falls through one sink makes `itsbench diff`,
+//     trace-driven comparisons and the CI determinism smoke compare
+//     incomplete streams.
+//  2. Summary JSON layout — every field added to the serialized summary
+//     structs in itsim/internal/metrics after the seed must carry
+//     `omitempty` (or an explicit `json:"-"`), so runs that do not exercise
+//     the new feature keep the historical byte layout that committed
+//     baseline documents and the CI determinism smoke diff against.
+//
+// The seed field sets are frozen in summaryBaseline below; growing a struct
+// means either adding omitempty or consciously extending the baseline here
+// (which is the reviewable act of breaking the historical layout).
+package eventsink
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"reflect"
+	"sort"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+
+	"itsim/internal/analysis/itslint"
+)
+
+// Analyzer is the eventsink pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "eventsink",
+	Doc: "require obs sinks to handle (or explicitly default) every event kind and new " +
+		"summary struct fields to carry omitempty, preserving the historical JSON layout",
+	Run: run,
+}
+
+const (
+	obsPkg     = "itsim/internal/obs"
+	metricsPkg = "itsim/internal/metrics"
+)
+
+// summaryBaseline freezes the seed-era field sets of the JSON-serialized
+// summary structs. Fields not listed here must carry omitempty.
+var summaryBaseline = map[string]map[string]bool{
+	"Summary": set("Policy", "Batch", "MakespanNs", "TotalIdleNs", "SchedulerIdleNs",
+		"ContextSwitchTimeNs", "FaultHandlerTimeNs", "TotalStolenNs", "MajorFaults",
+		"MinorFaults", "LLCMisses", "ContextSwitches", "PrefetchAccuracy", "AvgFinishNs",
+		"TopHalfAvgFinishNs", "BottomHalfAvgFinishNs", "SyncWait", "Blocked", "Procs"),
+	"HistogramSnapshot": set("Count", "MeanNs", "P50Ns", "P99Ns", "MaxNs", "SumNs", "Buckets"),
+	"BucketCount":       set("UpperNs", "Count"),
+	"Process": set("PID", "Name", "Priority", "FinishTime", "Finished", "Instructions",
+		"CPUTime", "MajorFaults", "MinorFaults", "LLCAccesses", "LLCMisses", "MemStall",
+		"StorageWait", "BlockedWait", "StolenPrefetch", "StolenPreexec", "RecoveryOverhead",
+		"ContextSwitches", "PrefetchIssued", "PrefetchUseful", "PrefetchDropped",
+		"PreexecInstrs", "PreexecValid", "PreexecFills"),
+	"Core": set("ID", "LocalClock", "CPUTime", "SchedulerIdle", "ContextSwitchTime",
+		"StolenPrefetch", "StolenPreexec", "Dispatches", "Steals", "MigratedAway"),
+	"InjectionStats": set("TailSpikes", "ChannelStalls", "DMAFailures", "DMARetries"),
+}
+
+func set(names ...string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	switch pass.Pkg.Path() {
+	case obsPkg:
+		checkSinks(pass)
+	case metricsPkg:
+		checkSummaries(pass)
+	}
+	return nil, nil
+}
+
+// checkSinks verifies that every switch over the event type inside a sink's
+// Write method covers every event kind or carries an explicit default.
+func checkSinks(pass *analysis.Pass) {
+	al := itslint.Scan(pass)
+	kinds := eventKinds(pass)
+	if len(kinds) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		if itslint.IsTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Name.Name != "Write" {
+				continue
+			}
+			ast.Inspect(fd, func(n ast.Node) bool {
+				sw, ok := n.(*ast.SwitchStmt)
+				if !ok || sw.Tag == nil {
+					return true
+				}
+				if !isEventType(pass.TypesInfo.TypeOf(sw.Tag), pass.Pkg) {
+					return true
+				}
+				checkSwitch(pass, al, sw, kinds)
+				return true
+			})
+		}
+	}
+	al.Flush("eventsink")
+}
+
+// eventKinds returns the package-level constants of type obs.Type, except
+// the NumTypes array-sizing sentinel, keyed by constant value.
+func eventKinds(pass *analysis.Pass) map[int64]string {
+	kinds := make(map[int64]string)
+	scope := pass.Pkg.Scope()
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || name == "NumTypes" {
+			continue
+		}
+		if !isEventType(c.Type(), pass.Pkg) {
+			continue
+		}
+		if v, exact := constant.Int64Val(c.Val()); exact {
+			kinds[v] = name
+		}
+	}
+	return kinds
+}
+
+// isEventType reports whether t is this package's event-discriminator type
+// (named Type, declared in the obs package itself).
+func isEventType(t types.Type, pkg *types.Package) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Type" && obj.Pkg() == pkg
+}
+
+func checkSwitch(pass *analysis.Pass, al *itslint.Allows, sw *ast.SwitchStmt, kinds map[int64]string) {
+	handled := make(map[int64]bool)
+	for _, stmt := range sw.Body.List {
+		cc, ok := stmt.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			return // explicit default: ignoring the rest is a deliberate act
+		}
+		for _, e := range cc.List {
+			tv, ok := pass.TypesInfo.Types[e]
+			if !ok || tv.Value == nil {
+				continue
+			}
+			if v, exact := constant.Int64Val(tv.Value); exact {
+				handled[v] = true
+			}
+		}
+	}
+	var missing []string
+	for v, name := range kinds {
+		if !handled[v] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	al.Report(sw.Pos(),
+		"sink switch does not handle event kinds %s: handle them or add an explicit default "+
+			"so dropping them is a deliberate act",
+		strings.Join(missing, ", "))
+}
+
+// checkSummaries enforces the omitempty rule on the serialized summary
+// structs of internal/metrics.
+func checkSummaries(pass *analysis.Pass) {
+	al := itslint.Scan(pass)
+	for _, f := range pass.Files {
+		if itslint.IsTestFile(pass, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			baseline, tracked := summaryBaseline[ts.Name.Name]
+			if !tracked {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				for _, name := range field.Names {
+					if !name.IsExported() || baseline[name.Name] {
+						continue
+					}
+					if hasOmitemptyOrSkip(field.Tag) {
+						continue
+					}
+					al.Report(name.Pos(),
+						"field %s.%s is not in the seed summary layout and lacks `json:\"…,omitempty\"`: "+
+							"it would change the byte layout of every summary, invalidating committed "+
+							"baselines and `itsbench diff` documents",
+						ts.Name.Name, name.Name)
+				}
+			}
+			return true
+		})
+	}
+	al.Flush("eventsink")
+}
+
+// hasOmitemptyOrSkip reports whether the field tag opts the field out of
+// layout drift: a json tag with omitempty, or json:"-".
+func hasOmitemptyOrSkip(tag *ast.BasicLit) bool {
+	if tag == nil {
+		return false
+	}
+	val := strings.Trim(tag.Value, "`")
+	jsonTag, ok := reflect.StructTag(val).Lookup("json")
+	if !ok {
+		return false
+	}
+	if jsonTag == "-" {
+		return true
+	}
+	parts := strings.Split(jsonTag, ",")
+	for _, p := range parts[1:] {
+		if p == "omitempty" {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,18 @@
+package eventsink_test
+
+import (
+	"testing"
+
+	"itsim/internal/analysis/atest"
+	"itsim/internal/analysis/eventsink"
+)
+
+// TestEventsink checks both rules on their fixture packages: sink Write
+// switches must handle every event kind or default explicitly
+// (itsim/internal/obs fixture), and summary struct fields outside the
+// frozen seed baseline must carry omitempty or json:"-"
+// (itsim/internal/metrics fixture).
+func TestEventsink(t *testing.T) {
+	atest.Run(t, "../testdata", eventsink.Analyzer,
+		"itsim/internal/obs", "itsim/internal/metrics")
+}

@@ -1,0 +1,246 @@
+// Package itslint holds the shared machinery of the simulator's custom
+// go/analysis passes: the deterministic-package set every analyzer scopes
+// itself to, the //itslint:allow suppression directive, and the suppression
+// accounting the `itslint run` multichecker aggregates into its summary.
+//
+// Every result this repository reports rests on bit-exact determinism: the
+// same seed must produce byte-identical summaries across repeats, across
+// machine-vs-1-core-SMP, and under any fault schedule. The analyzers in
+// internal/analysis/... machine-check the coding discipline that property
+// depends on; this package keeps their shared conventions in one place.
+package itslint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"golang.org/x/tools/go/analysis"
+)
+
+// deterministicPkgs is the set of import paths whose code must be bit-exact
+// reproducible: one stray wall-clock read, global-rand draw, env-dependent
+// branch or map-order iteration in any of them can silently break replay,
+// `itsbench diff`, and the per-core conservation ledger.
+var deterministicPkgs = map[string]bool{
+	"itsim/internal/exec":     true,
+	"itsim/internal/smp":      true,
+	"itsim/internal/kernel":   true,
+	"itsim/internal/storage":  true,
+	"itsim/internal/fault":    true,
+	"itsim/internal/policy":   true,
+	"itsim/internal/sched":    true,
+	"itsim/internal/cache":    true,
+	"itsim/internal/preexec":  true,
+	"itsim/internal/prefetch": true,
+	"itsim/internal/obs":      true,
+	"itsim/internal/metrics":  true,
+}
+
+// Deterministic reports whether the import path belongs to the simulator's
+// deterministic core.
+func Deterministic(path string) bool { return deterministicPkgs[path] }
+
+// IsTestFile reports whether the node's file is a _test.go file. The
+// determinism invariants bind the simulator, not its tests — tests iterate
+// maps and read wall clocks freely — so every analyzer skips test files.
+func IsTestFile(pass *analysis.Pass, pos token.Pos) bool {
+	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
+}
+
+// prefix is the directive that suppresses an itslint diagnostic.
+const prefix = "//itslint:allow"
+
+// SummaryEnv, when set, names a file each analyzer appends its suppression
+// counts to; `itslint run` aggregates it into the multichecker summary.
+const SummaryEnv = "ITSLINT_SUMMARY"
+
+// Directive is one parsed //itslint:allow comment.
+type Directive struct {
+	Pos    token.Pos
+	Line   int
+	Reason string
+}
+
+// Allows indexes the //itslint:allow directives of one package and arbitrates
+// whether a diagnostic at a given position is suppressed. A directive covers
+// its own source line and the line immediately below it (so it can trail the
+// flagged statement or sit on its own line above it); anywhere else it does
+// not suppress.
+type Allows struct {
+	pass *analysis.Pass
+	// dirs maps filename → line → directive.
+	dirs map[string]map[int]*Directive
+	// Suppressed counts diagnostics a non-empty-reason directive absorbed.
+	Suppressed int
+}
+
+// Scan indexes the allow directives of every non-test file in the package.
+func Scan(pass *analysis.Pass) *Allows {
+	al := &Allows{pass: pass, dirs: make(map[string]map[int]*Directive)}
+	for _, d := range Directives(pass) {
+		p := pass.Fset.Position(d.Pos)
+		m := al.dirs[p.Filename]
+		if m == nil {
+			m = make(map[int]*Directive)
+			al.dirs[p.Filename] = m
+		}
+		m[d.Line] = d
+	}
+	return al
+}
+
+// Directives returns every //itslint:allow directive in the package's
+// non-test files, in file order.
+func Directives(pass *analysis.Pass) []*Directive {
+	var out []*Directive
+	for _, f := range pass.Files {
+		if IsTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := c.Text[len(prefix):]
+				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
+					continue // e.g. //itslint:allowance — not our directive
+				}
+				out = append(out, &Directive{
+					Pos:    c.Pos(),
+					Line:   pass.Fset.Position(c.Pos()).Line,
+					Reason: strings.TrimSpace(rest),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// allowed returns the directive covering pos, if any. Only directives with a
+// non-empty reason suppress; empty-reason directives are themselves reported
+// by CheckDirectives.
+func (al *Allows) allowed(pos token.Pos) *Directive {
+	p := al.pass.Fset.Position(pos)
+	m := al.dirs[p.Filename]
+	if m == nil {
+		return nil
+	}
+	for _, line := range [2]int{p.Line, p.Line - 1} {
+		if d := m[line]; d != nil && d.Reason != "" {
+			return d
+		}
+	}
+	return nil
+}
+
+// Report files the diagnostic unless a justified //itslint:allow directive
+// covers pos, in which case the suppression is counted instead.
+func (al *Allows) Report(pos token.Pos, format string, args ...any) {
+	if al.allowed(pos) != nil {
+		al.Suppressed++
+		return
+	}
+	al.pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Flush appends this pass's suppression count to the $ITSLINT_SUMMARY file
+// (best-effort; the environment variable unset means no accounting was
+// requested). Call once at the end of the analyzer's Run.
+func (al *Allows) Flush(analyzer string) {
+	if al.Suppressed == 0 {
+		return
+	}
+	AppendSummary(analyzer, al.pass.Pkg.Path(), al.Suppressed)
+}
+
+// AppendSummary records n suppressions for analyzer on pkg in the summary
+// file named by $ITSLINT_SUMMARY. Each vet worker process appends a single
+// line, so concurrent packages interleave whole records.
+func AppendSummary(analyzer, pkg string, n int) {
+	path := os.Getenv(SummaryEnv)
+	if path == "" || n == 0 {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return
+	}
+	fmt.Fprintf(f, "%s\t%s\t%d\n", analyzer, pkg, n)
+	f.Close()
+}
+
+// ParseSummary aggregates the summary file's records into per-analyzer
+// totals and a grand total. Malformed lines are ignored (a crashed worker
+// may truncate its record).
+func ParseSummary(data []byte) (perAnalyzer map[string]int, total int) {
+	perAnalyzer = make(map[string]int)
+	for _, line := range strings.Split(string(data), "\n") {
+		parts := strings.Split(line, "\t")
+		if len(parts) != 3 {
+			continue
+		}
+		n, err := strconv.Atoi(parts[2])
+		if err != nil || n <= 0 {
+			continue
+		}
+		perAnalyzer[parts[0]] += n
+		total += n
+	}
+	return perAnalyzer, total
+}
+
+// FormatSummary renders the aggregated suppression counts as the one-line
+// multichecker summary, e.g.
+//
+//	itslint: 3 findings suppressed by //itslint:allow (gospawn=1, simdeterminism=2)
+func FormatSummary(perAnalyzer map[string]int, total int) string {
+	if total == 0 {
+		return "itslint: clean, no //itslint:allow suppressions"
+	}
+	names := make([]string, 0, len(perAnalyzer))
+	for name := range perAnalyzer {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, 0, len(names))
+	for _, name := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", name, perAnalyzer[name]))
+	}
+	noun := "findings"
+	if total == 1 {
+		noun = "finding"
+	}
+	return fmt.Sprintf("itslint: %d %s suppressed by //itslint:allow (%s)",
+		total, noun, strings.Join(parts, ", "))
+}
+
+// CheckDirectives reports every //itslint:allow directive with an empty
+// reason: a suppression without a justification is itself a violation.
+// Exactly one analyzer (simdeterminism, which runs on every package) calls
+// this, so each bad directive is reported once.
+func CheckDirectives(pass *analysis.Pass) {
+	for _, d := range Directives(pass) {
+		if d.Reason == "" {
+			pass.Report(analysis.Diagnostic{
+				Pos:     d.Pos,
+				Message: "itslint:allow directive without a reason: justify the suppression (//itslint:allow <why this is deterministic>)",
+			})
+		}
+	}
+}
+
+// EnclosingFuncName returns the name of the innermost function declaration
+// containing the node path produced by walking with WithStack-style
+// traversal; helpers for analyzers that allowlist by function.
+func EnclosingFuncName(decl *ast.FuncDecl) string {
+	if decl == nil || decl.Name == nil {
+		return ""
+	}
+	return decl.Name.Name
+}

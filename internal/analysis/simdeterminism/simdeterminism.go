@@ -1,0 +1,138 @@
+// Package simdeterminism forbids the nondeterminism sources that silently
+// break the simulator's bit-exact replay guarantee inside the deterministic
+// core packages: wall-clock reads (time.Now/Since/Until), the global
+// math/rand source, environment-dependent behaviour (os.Getenv and friends),
+// and iteration over maps — whose order Go randomizes per run, so a map
+// range feeding an event stream, a summary, or a queue makes two runs of the
+// same seed diverge.
+//
+// Legitimate order-insensitive map iteration (pure counting, min/max folds)
+// is suppressed with a justified //itslint:allow directive; the directive
+// machinery itself (including the empty-reason check, which this analyzer
+// owns for every package) lives in internal/analysis/itslint.
+package simdeterminism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"golang.org/x/tools/go/analysis"
+
+	"itsim/internal/analysis/itslint"
+)
+
+// Analyzer is the simdeterminism pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "simdeterminism",
+	Doc: "forbid wall-clock time, global math/rand, environment reads and map iteration " +
+		"in the simulator's deterministic packages (suppress with //itslint:allow <reason>)",
+	Run: run,
+}
+
+// bannedFuncs maps package path → function name → the invariant the call
+// would break. Only package-level functions are banned: a seeded
+// *rand.Rand method draw is deterministic, the global source is not.
+var bannedFuncs = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"math/rand": {
+		"Int": "global math/rand source", "Intn": "global math/rand source",
+		"Int31": "global math/rand source", "Int31n": "global math/rand source",
+		"Int63": "global math/rand source", "Int63n": "global math/rand source",
+		"Uint32": "global math/rand source", "Uint64": "global math/rand source",
+		"Float32": "global math/rand source", "Float64": "global math/rand source",
+		"ExpFloat64": "global math/rand source", "NormFloat64": "global math/rand source",
+		"Perm": "global math/rand source", "Shuffle": "global math/rand source",
+		"Seed": "global math/rand source", "Read": "global math/rand source",
+	},
+	"math/rand/v2": {
+		"Int": "global math/rand/v2 source", "IntN": "global math/rand/v2 source",
+		"Int32": "global math/rand/v2 source", "Int32N": "global math/rand/v2 source",
+		"Int64": "global math/rand/v2 source", "Int64N": "global math/rand/v2 source",
+		"Uint32": "global math/rand/v2 source", "Uint32N": "global math/rand/v2 source",
+		"Uint64": "global math/rand/v2 source", "Uint64N": "global math/rand/v2 source",
+		"N": "global math/rand/v2 source", "Float32": "global math/rand/v2 source",
+		"Float64": "global math/rand/v2 source", "Perm": "global math/rand/v2 source",
+		"Shuffle": "global math/rand/v2 source", "ExpFloat64": "global math/rand/v2 source",
+		"NormFloat64": "global math/rand/v2 source",
+	},
+	"os": {
+		"Getenv":    "environment-dependent behaviour",
+		"LookupEnv": "environment-dependent behaviour",
+		"Environ":   "environment-dependent behaviour",
+		"ExpandEnv": "environment-dependent behaviour",
+	},
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	// The allow-directive validation runs on every package — a suppression
+	// without a justification is a violation wherever it appears.
+	itslint.CheckDirectives(pass)
+
+	if !itslint.Deterministic(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	al := itslint.Scan(pass)
+	for _, f := range pass.Files {
+		if itslint.IsTestFile(pass, f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, al, n)
+			case *ast.RangeStmt:
+				checkRange(pass, al, n)
+			}
+			return true
+		})
+	}
+	al.Flush("simdeterminism")
+	return nil, nil
+}
+
+// checkCall flags calls to the banned package-level functions.
+func checkCall(pass *analysis.Pass, al *itslint.Allows, call *ast.CallExpr) {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	case *ast.Ident:
+		id = fun
+	default:
+		return
+	}
+	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return // method call (e.g. a seeded *rand.Rand) — deterministic
+	}
+	if why, banned := bannedFuncs[fn.Pkg().Path()][fn.Name()]; banned {
+		al.Report(call.Pos(),
+			"call to %s.%s in deterministic package %s: %s breaks bit-exact replay",
+			fn.Pkg().Path(), fn.Name(), pass.Pkg.Path(), why)
+	}
+}
+
+// checkRange flags iteration over map types: Go randomizes map order per
+// run, so any map range whose body's effects can reach an event stream,
+// summary or queue breaks determinism. Order-insensitive folds are
+// annotated //itslint:allow with the justification.
+func checkRange(pass *analysis.Pass, al *itslint.Allows, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	al.Report(rng.Pos(),
+		"range over map %s in deterministic package %s: iteration order is randomized per run; "+
+			"iterate sorted keys (or annotate an order-insensitive fold with //itslint:allow <reason>)",
+		tv.Type.String(), pass.Pkg.Path())
+}

@@ -1,0 +1,32 @@
+package simdeterminism_test
+
+import (
+	"strings"
+	"testing"
+
+	"itsim/internal/analysis/atest"
+	"itsim/internal/analysis/simdeterminism"
+)
+
+// TestDeterministicPackage checks both polarities inside the deterministic
+// set: wall clocks, global rand, env reads and map ranges are flagged;
+// seeded draws and justified //itslint:allow suppressions are not, and a
+// directive two lines away does not suppress.
+func TestDeterministicPackage(t *testing.T) {
+	atest.Run(t, "../testdata", simdeterminism.Analyzer, "itsim/internal/kernel")
+}
+
+// TestNonDeterministicPackage checks that outside the deterministic set the
+// banned patterns pass freely, while directive hygiene (the empty-reason
+// check) is still enforced everywhere. Asserted programmatically because
+// the empty-reason diagnostic lands on the directive's own line, which
+// cannot also carry a // want comment.
+func TestNonDeterministicPackage(t *testing.T) {
+	diags := atest.RunResult(t, "../testdata", simdeterminism.Analyzer, "itsim/cmd/clitool")
+	if len(diags) != 1 {
+		t.Fatalf("got %d diagnostics, want exactly the empty-reason report: %+v", len(diags), diags)
+	}
+	if !strings.Contains(diags[0].Message, "without a reason") {
+		t.Errorf("unexpected diagnostic: %s", diags[0].Message)
+	}
+}

@@ -1,0 +1,39 @@
+// Fixture for the gospawn allowlist: itsim/internal/core is the
+// host-parallel batch layer, and its sanctioned entry points (RunGrid,
+// RunSensitivity, RunSpinSweep and the shared runJobs helper) may use
+// goroutines and channels freely — everything else in the package may not.
+package core
+
+// RunGrid is a sanctioned host-parallel entry point: clean despite the
+// goroutines and channels.
+func RunGrid(jobs []func()) {
+	done := make(chan struct{})
+	for _, j := range jobs {
+		j := j
+		go func() {
+			j()
+			done <- struct{}{}
+		}()
+	}
+	for range jobs {
+		<-done
+	}
+	close(done)
+}
+
+// runJobs is the shared worker-fanout helper, also sanctioned.
+func runJobs(n int, f func(int)) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func(i int) { f(i); done <- struct{}{} }(i)
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// stray is NOT on the allowlist: host concurrency outside the sanctioned
+// entry points is flagged even in this package.
+func stray(f func()) {
+	go f() // want `go statement in deterministic core package itsim/internal/core`
+}

@@ -1,0 +1,54 @@
+// Fixture for the vtime analyzer: unit-confusion patterns around the
+// virtual-time type itsim/internal/sim.Time.
+package exec
+
+import "itsim/internal/sim"
+
+func badSquare(a, b sim.Time) sim.Time {
+	return a * b // want `multiplying two virtual-time values`
+}
+
+func badAdd(t sim.Time, bytes int) sim.Time {
+	return t + sim.Time(bytes) // want `virtual-time arithmetic adds sim\.Time\(bytes\)`
+}
+
+func badSub(t sim.Time, cycles uint64) sim.Time {
+	return t - sim.Time(cycles) // want `virtual-time arithmetic adds sim\.Time\(cycles\)`
+}
+
+func badCompare(t sim.Time, lines int64) bool {
+	return t < sim.Time(lines) // want `virtual-time arithmetic compares sim\.Time\(lines\)`
+}
+
+// scaleByCount is the sanctioned scaling idiom: the explicit conversion
+// marks the operand as a scalar count, so the MUL rule does not fire.
+func scaleByCount(cost sim.Time, n int) sim.Time {
+	return cost * sim.Time(n)
+}
+
+// constOffset adds a compile-time-constant duration: clean.
+func constOffset(t sim.Time) sim.Time {
+	return t + 5*sim.Millisecond
+}
+
+// floatScale converts a float product: the sanctioned fractional-scaling
+// idiom, exempt from the fresh-conversion rule.
+func floatScale(t sim.Time, frac float64, span sim.Time) sim.Time {
+	return t + sim.Time(frac*float64(span))
+}
+
+// RunUntil is on the analyzer's exempt list for this package: it IS the
+// instructions→nanoseconds rate boundary, so the conversion is clean here.
+func RunUntil(t sim.Time, instCarry, instPerNs uint64) sim.Time {
+	return t + sim.Time(instCarry/instPerNs)
+}
+
+// allowedAdd demonstrates a justified suppression: counted, not reported.
+func allowedAdd(t sim.Time, bytes int) sim.Time {
+	return t + sim.Time(bytes) //itslint:allow fixture-sanctioned unit mix with a reason
+}
+
+// timeSum adds two genuine timestamps/durations: clean.
+func timeSum(t, d sim.Time) sim.Time {
+	return t + d
+}

@@ -1,0 +1,31 @@
+// Fixture for the eventsink summary-layout rule: fields added to the
+// serialized summary structs after the seed must carry omitempty (or an
+// explicit json:"-") so unexercised features keep the historical byte
+// layout committed baselines diff against.
+package metrics
+
+// Summary is the fixture copy of the serialized run summary. Policy is in
+// the frozen seed baseline; the other fields exercise the layout rule.
+type Summary struct {
+	Policy     string  `json:"policy"`
+	NewCounter uint64  `json:"new_counter"` // want `field Summary\.NewCounter is not in the seed summary layout`
+	NewGauge   float64 `json:"new_gauge,omitempty"`
+	Skipped    int     `json:"-"`
+	Untagged   bool    // want `field Summary\.Untagged is not in the seed summary layout`
+	hidden     int
+	Allowed    uint64 `json:"allowed_total"` //itslint:allow fixture-sanctioned layout change with a reason
+}
+
+// Core is also a tracked struct: ID is baseline, the addition is clean
+// because it carries omitempty.
+type Core struct {
+	ID        int    `json:"id"`
+	NewDetail uint64 `json:"new_detail,omitempty"`
+}
+
+// Other is not a tracked summary struct: layout-free.
+type Other struct {
+	Whatever int `json:"whatever"`
+}
+
+func use(s Summary) int { return s.hidden }

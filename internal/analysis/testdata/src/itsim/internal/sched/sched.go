@@ -1,0 +1,51 @@
+// Fixture for the gospawn analyzer: this package path is in the
+// deterministic set, so every form of host concurrency is flagged.
+package sched
+
+func spawn(f func()) {
+	go f() // want `go statement in deterministic core package itsim/internal/sched`
+}
+
+func send(c chan int) {
+	c <- 1 // want `channel send in deterministic core package`
+}
+
+func recv(c chan int) int {
+	return <-c // want `channel receive in deterministic core package`
+}
+
+func sel() {
+	select { // want `select statement in deterministic core package`
+	default:
+	}
+}
+
+func drain(c chan int) int {
+	n := 0
+	for range c { // want `range over channel in deterministic core package`
+		n++
+	}
+	return n
+}
+
+func mk() chan int {
+	return make(chan int) // want `make\(chan\) in deterministic core package`
+}
+
+func shut(c chan int) {
+	close(c) // want `close of channel in deterministic core package`
+}
+
+// allowedSpawn demonstrates a justified suppression: counted, not reported.
+func allowedSpawn(f func()) {
+	go f() //itslint:allow fixture-sanctioned spawn with a reason
+}
+
+// plainLoop exercises the non-channel paths that must stay clean.
+func plainLoop(xs []int) int {
+	total := 0
+	for _, x := range xs {
+		total += x
+	}
+	return total
+}

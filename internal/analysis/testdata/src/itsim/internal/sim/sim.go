@@ -1,0 +1,14 @@
+// Package sim is a minimal fixture stand-in for the real virtual-time
+// package: just enough for the vtime analyzer to recognize the Time type.
+package sim
+
+// Time is a virtual timestamp in nanoseconds (fixture copy).
+type Time int64
+
+// Fixture copies of the duration constants.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)

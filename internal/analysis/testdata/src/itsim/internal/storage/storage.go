@@ -1,0 +1,38 @@
+// Fixture for the //itslint:allow directive machinery, asserted
+// programmatically (atest.RunResult) because the empty-reason diagnostic
+// lands on the directive's own line, where a trailing // want comment
+// cannot coexist with the directive.
+package storage
+
+type table struct{ rows map[int]int }
+
+// count carries a justified suppression: the map-range finding is absorbed
+// and counted toward the multichecker summary.
+func count(t table) int {
+	n := 0
+	for range t.rows { //itslint:allow pure count; iteration order cannot matter
+		n++
+	}
+	return n
+}
+
+// unjustified carries an empty-reason directive: the directive itself is
+// reported, and the violation underneath is NOT suppressed.
+func unjustified(t table) int {
+	n := 0
+	//itslint:allow
+	for range t.rows {
+		n++
+	}
+	return n
+}
+
+// lookalike carries a comment that merely shares the prefix: not a
+// directive, no suppression, no empty-reason report.
+func lookalike(t table) int {
+	n := 0
+	for range t.rows { //itslint:allowance is not our directive
+		n++
+	}
+	return n
+}

@@ -1,0 +1,17 @@
+package vtime_test
+
+import (
+	"testing"
+
+	"itsim/internal/analysis/atest"
+	"itsim/internal/analysis/vtime"
+)
+
+// TestVtime checks both polarities on the itsim/internal/exec fixture:
+// time×time products, fresh integer conversions in additions/subtractions
+// and comparisons are flagged; the sanctioned idioms (count scaling via
+// explicit conversion, constant offsets, float fractional scaling, the
+// exempt RunUntil rate boundary, justified allows) are not.
+func TestVtime(t *testing.T) {
+	atest.Run(t, "../testdata", vtime.Analyzer, "itsim/internal/exec")
+}

@@ -1,0 +1,35 @@
+package fault
+
+import (
+	"testing"
+)
+
+// FuzzParseSpec: arbitrary CLI fault specs must never panic the parser, and
+// every accepted spec must yield a validated Config that builds a working
+// injector — ParseSpec is the front door every -faults flag value walks
+// through.
+func FuzzParseSpec(f *testing.F) {
+	f.Add("")
+	f.Add("seed=42,tailp=0.01,tailx=8")
+	f.Add("stallp=0.005,stallw=50us,dmap=0.001,retries=3,backoff=1us")
+	f.Add("seed=0x10,tailp=1.5")
+	f.Add("tailp")
+	f.Add("unknown=1")
+	f.Add(" seed = 7 , tailp = 0.5 ,, ")
+	f.Add("backoff=-1ms,retries=-2")
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("ParseSpec(%q) accepted a config Validate rejects: %v", spec, verr)
+		}
+		// An accepted config must drive the injector without panicking.
+		in := New(cfg)
+		in.Tail()
+		in.Stall()
+		in.DMAFail(0)
+		in.DMAFail(in.Config().RetryMax)
+	})
+}

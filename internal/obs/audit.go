@@ -151,6 +151,14 @@ func (a *Auditor) Write(ev Event) {
 				ev.Time, a.accounted, drift)
 		}
 		a.started = false
+	default:
+		// The auditor checks only the conservation-bearing events
+		// (dispatch/occupancy/switch/idle); everything else — prefetch,
+		// swap, fault-injection, gauges — carries no CPU-time accounting
+		// and is deliberately ignored. The explicit default keeps the
+		// eventsink exhaustiveness lint honest: adding an event kind
+		// that SHOULD be audited means adding a case above, not relying
+		// on silent fallthrough.
 	}
 }
 

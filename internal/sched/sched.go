@@ -16,6 +16,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"itsim/internal/sim"
 )
@@ -170,7 +171,7 @@ func (s *RR) recomputeSlices() {
 		lo, hi = s.pinLo, s.pinHi
 	}
 	span := hi - lo
-	for _, e := range s.entries {
+	for _, e := range s.entries { //itslint:allow independent per-entry update; no cross-entry or output-ordering effect
 		if span == 0 {
 			e.slice = s.maxSlice
 			continue
@@ -315,7 +316,7 @@ func (s *RR) Runnable() int {
 // Alive returns the number of unfinished processes.
 func (s *RR) Alive() int {
 	n := 0
-	for _, e := range s.entries {
+	for _, e := range s.entries { //itslint:allow pure count; order-insensitive fold
 		if e.state != Finished {
 			n++
 		}
@@ -389,11 +390,15 @@ func (s *RR) Finish(pid int) {
 	s.running = -1
 }
 
-// Pids returns every registered pid (unspecified order).
+// Pids returns every registered pid in ascending order. The entries map's
+// iteration order must never escape the scheduler: a caller feeding these
+// pids into event emission or queue construction would inherit Go's
+// per-run map ordering and break bit-exact replay.
 func (s *RR) Pids() []int {
 	out := make([]int, 0, len(s.entries))
-	for pid := range s.entries {
+	for pid := range s.entries { //itslint:allow collected pids are sorted before returning
 		out = append(out, pid)
 	}
+	sort.Ints(out)
 	return out
 }
