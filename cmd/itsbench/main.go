@@ -21,11 +21,17 @@
 //	itsbench -exp all -format json
 //	itsbench -exp fig4a -trace-out trace.json -trace-format chrome
 //	itsbench diff before.json after.json
+//	itsbench perf -o BENCH_1.json
 //
 // The diff subcommand compares two -format json documents and exits
 // non-zero when any figure value or run-summary metric drifted beyond
 // -tolerance (default: exact match) — the regression check for simulator
 // changes that must not move the numbers.
+//
+// The perf subcommand snapshots the simulator's own throughput trajectory
+// (deterministic virtual-time outcomes plus host wall-clock rates) as a
+// JSON document; `itsbench diff -perf-tolerance` compares snapshots, with
+// host-dependent fields skipped by default.
 //
 // With -trace-out every simulated run streams its event trace into one file
 // (runs become separate trace processes); see docs/OBSERVABILITY.md.
@@ -72,6 +78,10 @@ func main() {
 	if len(os.Args) > 1 && os.Args[1] == "diff" {
 		os.Exit(diffMain(os.Args[2:], os.Stdout))
 	}
+	// `itsbench perf` snapshots simulator throughput (BENCH_<n>.json).
+	if len(os.Args) > 1 && os.Args[1] == "perf" {
+		os.Exit(perfMain(os.Args[2:], os.Stdout))
+	}
 	var p params
 	flag.StringVar(&p.exp, "exp", "all", "experiment: obs|fig4a|fig4b|fig4c|fig5a|fig5b|setup|xover|spin|sens|all")
 	flag.Float64Var(&p.scale, "scale", 0.25, "workload scale factor")
@@ -116,6 +126,9 @@ type jsonDoc struct {
 	Crossover   []core.CrossoverPoint    `json:"crossover,omitempty"`
 	Spin        []core.SpinPoint         `json:"spin,omitempty"`
 	Sensitivity []core.SensitivityResult `json:"sensitivity,omitempty"`
+	// Perf is the `itsbench perf` simulator-throughput trajectory
+	// (BENCH_<n>.json snapshots; see perf.go).
+	Perf []PerfPoint `json:"perf,omitempty"`
 }
 
 func run(p params) error {

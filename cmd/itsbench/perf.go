@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"itsim/internal/core"
+	"itsim/internal/policy"
+	"itsim/internal/workload"
+)
+
+// PerfPoint is one row of the `itsbench perf` trajectory: a fixed
+// policy/core-count configuration with both its deterministic virtual-time
+// outcome (Records, MakespanNs — must match the snapshot exactly) and its
+// host-dependent throughput (WallNs, RecordsPerSec — compared only under
+// -perf-tolerance, since wall time varies by machine and load).
+type PerfPoint struct {
+	Policy        string  `json:"policy"`
+	Cores         int     `json:"cores"`
+	Records       uint64  `json:"records"`
+	MakespanNs    int64   `json:"makespan_ns"`
+	WallNs        int64   `json:"wall_ns"`
+	RecordsPerSec float64 `json:"records_per_sec"`
+}
+
+// perfConfigs is the fixed grid the trajectory tracks: the two policies the
+// paper contrasts (plain Sync vs ITS), single-core and 4-core SMP.
+func perfConfigs() []struct {
+	kind  policy.Kind
+	cores int
+} {
+	return []struct {
+		kind  policy.Kind
+		cores int
+	}{
+		{policy.Sync, 1},
+		{policy.Sync, 4},
+		{policy.ITS, 1},
+		{policy.ITS, 4},
+	}
+}
+
+// perfMain is the `itsbench perf` subcommand: it runs the fixed perf grid
+// and writes a snapshot document (BENCH_<n>.json in the repo root is the
+// committed trajectory; CI diffs fresh runs against it). Exit status: 0 on
+// success, 2 on usage or run errors.
+//
+//	itsbench perf -o BENCH_1.json
+//	itsbench perf | itsbench diff -perf-tolerance 0.4 BENCH_1.json /dev/stdin
+func perfMain(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("perf", flag.ContinueOnError)
+	fs.SetOutput(os.Stderr)
+	outPath := fs.String("o", "", "write the snapshot to this file (empty = stdout)")
+	scale := fs.Float64("scale", 0.02, "workload scale factor")
+	fs.Usage = func() {
+		fmt.Fprintln(os.Stderr, "usage: itsbench perf [-o BENCH.json] [-scale frac]")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fs.Usage()
+		return 2
+	}
+	doc := &jsonDoc{Scale: *scale}
+	b := workload.Batches()[1]
+	for _, cfg := range perfConfigs() {
+		start := time.Now()
+		run, err := core.RunBatch(b, cfg.kind, core.Options{Scale: *scale, Cores: cfg.cores})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "itsbench perf:", err)
+			return 2
+		}
+		wall := time.Since(start)
+		var records uint64
+		for _, p := range run.Procs {
+			records += p.Instructions
+		}
+		pt := PerfPoint{
+			Policy:     cfg.kind.String(),
+			Cores:      cfg.cores,
+			Records:    records,
+			MakespanNs: int64(run.Makespan),
+			WallNs:     wall.Nanoseconds(),
+		}
+		if s := wall.Seconds(); s > 0 {
+			pt.RecordsPerSec = float64(records) / s
+		}
+		doc.Perf = append(doc.Perf, pt)
+	}
+
+	w := out
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "itsbench perf:", err)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(doc); err != nil {
+		fmt.Fprintln(os.Stderr, "itsbench perf:", err)
+		return 2
+	}
+	return 0
+}
+
+// diffPerf compares the perf trajectories of two documents. Deterministic
+// fields (records, makespan_ns) obey tol like every other metric;
+// wall-clock fields (wall_ns, records_per_sec) are host-dependent and only
+// compared when perfTol >= 0.
+func diffPerf(oldDoc, newDoc *jsonDoc, tol, perfTol float64) []string {
+	var drifts []string
+	report := func(name string, a, b float64, t float64) {
+		if !withinTolerance(a, b, t) {
+			drifts = append(drifts, fmt.Sprintf("%s: %v -> %v (%+.3g%%)",
+				name, a, b, relDrift(a, b)*100))
+		}
+	}
+	type key struct {
+		policy string
+		cores  int
+	}
+	oldPts := make(map[key]PerfPoint, len(oldDoc.Perf))
+	for _, pt := range oldDoc.Perf {
+		oldPts[key{pt.Policy, pt.Cores}] = pt
+	}
+	seen := make(map[key]bool, len(newDoc.Perf))
+	for _, pt := range newDoc.Perf {
+		k := key{pt.Policy, pt.Cores}
+		seen[k] = true
+		o, ok := oldPts[k]
+		if !ok {
+			drifts = append(drifts, fmt.Sprintf("perf/%s/cores=%d: only in new document", pt.Policy, pt.Cores))
+			continue
+		}
+		prefix := fmt.Sprintf("perf/%s/cores=%d/", pt.Policy, pt.Cores)
+		report(prefix+"records", float64(o.Records), float64(pt.Records), tol)
+		report(prefix+"makespan_ns", float64(o.MakespanNs), float64(pt.MakespanNs), tol)
+		if perfTol >= 0 {
+			report(prefix+"wall_ns", float64(o.WallNs), float64(pt.WallNs), perfTol)
+			report(prefix+"records_per_sec", o.RecordsPerSec, pt.RecordsPerSec, perfTol)
+		}
+	}
+	for _, pt := range oldDoc.Perf {
+		if !seen[key{pt.Policy, pt.Cores}] {
+			drifts = append(drifts, fmt.Sprintf("perf/%s/cores=%d: missing from new document", pt.Policy, pt.Cores))
+		}
+	}
+	return drifts
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func runPerf(t *testing.T, args ...string) *jsonDoc {
+	t.Helper()
+	var out bytes.Buffer
+	if code := perfMain(args, &out); code != 0 {
+		t.Fatalf("perf exited %d", code)
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("perf output not JSON: %v\n%s", err, out.String())
+	}
+	return &doc
+}
+
+func TestPerfSnapshotShape(t *testing.T) {
+	doc := runPerf(t, "-scale", "0.02")
+	if len(doc.Perf) != len(perfConfigs()) {
+		t.Fatalf("%d perf points, want %d", len(doc.Perf), len(perfConfigs()))
+	}
+	for i, pt := range doc.Perf {
+		cfg := perfConfigs()[i]
+		if pt.Policy != cfg.kind.String() || pt.Cores != cfg.cores {
+			t.Fatalf("point %d is %s/cores=%d, want %s/cores=%d",
+				i, pt.Policy, pt.Cores, cfg.kind, cfg.cores)
+		}
+		if pt.Records == 0 || pt.MakespanNs <= 0 {
+			t.Fatalf("point %d has empty deterministic fields: %+v", i, pt)
+		}
+		if pt.WallNs <= 0 || pt.RecordsPerSec <= 0 {
+			t.Fatalf("point %d has empty wall-clock fields: %+v", i, pt)
+		}
+	}
+}
+
+func TestPerfDeterministicFieldsStable(t *testing.T) {
+	a := runPerf(t, "-scale", "0.02")
+	b := runPerf(t, "-scale", "0.02")
+	if drifts := diffPerf(a, b, 0, -1); len(drifts) != 0 {
+		t.Fatalf("deterministic perf fields drifted across identical runs:\n%s",
+			strings.Join(drifts, "\n"))
+	}
+}
+
+func TestPerfDiffCatchesMakespanDrift(t *testing.T) {
+	a := runPerf(t, "-scale", "0.02")
+	b := runPerf(t, "-scale", "0.02")
+	b.Perf[0].MakespanNs++
+	drifts := diffPerf(a, b, 0, -1)
+	if len(drifts) != 1 || !strings.Contains(drifts[0], "makespan_ns") {
+		t.Fatalf("drifts %v, want exactly the perturbed makespan", drifts)
+	}
+	// Wall-clock drift is only reported under a non-negative perf tolerance.
+	b.Perf[0].MakespanNs--
+	b.Perf[0].WallNs *= 1000
+	if drifts := diffPerf(a, b, 0, -1); len(drifts) != 0 {
+		t.Fatalf("wall drift reported despite -perf-tolerance skip: %v", drifts)
+	}
+	if drifts := diffPerf(a, b, 0, 0.5); len(drifts) == 0 {
+		t.Fatal("1000x wall drift not reported under perf tolerance 0.5")
+	}
+}
+
+func TestPerfWritesFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	var out bytes.Buffer
+	if code := perfMain([]string{"-scale", "0.02", "-o", path}, &out); code != 0 {
+		t.Fatalf("perf -o exited %d", code)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc jsonDoc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("snapshot file not JSON: %v", err)
+	}
+	if len(doc.Perf) == 0 {
+		t.Fatal("snapshot file has no perf points")
+	}
+}
+
+// TestPerfDiffAgainstCommittedSnapshot is the CI regression gate: a fresh
+// perf run's deterministic fields must match the committed BENCH_1.json
+// exactly (wall-clock fields are skipped by default).
+func TestPerfDiffAgainstCommittedSnapshot(t *testing.T) {
+	snap, err := loadDoc("../../BENCH_1.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Scale <= 0 || len(snap.Perf) == 0 {
+		t.Fatalf("committed snapshot malformed: %+v", snap)
+	}
+	fresh := runPerf(t, "-scale", "0.02")
+	if drifts := diffPerf(snap, fresh, 0, -1); len(drifts) != 0 {
+		t.Fatalf("perf trajectory drifted from committed BENCH_1.json:\n%s",
+			strings.Join(drifts, "\n"))
+	}
+}

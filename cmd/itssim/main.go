@@ -7,6 +7,9 @@
 //	itssim -policy ITS -format json
 //	itssim -policy ITS -cores 4
 //	itssim -policy ITS -trace-out trace.json -trace-format chrome
+//	itssim observe attribute trace.jsonl
+//	itssim observe diff a.jsonl b.jsonl
+//	itssim observe timeline -bucket 1ms trace.jsonl
 //
 // Batches: No_Data_Intensive, 1_Data_Intensive, 2_Data_Intensive,
 // 3_Data_Intensive. Policies: Async, Sync, Sync_Runahead, Sync_Prefetch,
@@ -62,6 +65,9 @@ type params struct {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "observe" {
+		os.Exit(observeMain(os.Args[2:], os.Stdout))
+	}
 	var p params
 	flag.StringVar(&p.batch, "batch", "2_Data_Intensive", "process batch name")
 	flag.StringVar(&p.policy, "policy", "ITS", "I/O-mode policy")

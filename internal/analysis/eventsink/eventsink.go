@@ -5,7 +5,10 @@
 //     explicitly defaulted) in every sink's Write switch. A new event type
 //     that silently falls through one sink makes `itsbench diff`,
 //     trace-driven comparisons and the CI determinism smoke compare
-//     incomplete streams.
+//     incomplete streams. The same rule binds the replay package's event
+//     switches (any function, not just Write methods): an event kind the
+//     trace analytics silently drop breaks the attribution conservation
+//     cross-check one release later, when the kind starts carrying time.
 //  2. Summary JSON layout — every field added to the serialized summary
 //     structs in itsim/internal/metrics after the seed must carry
 //     `omitempty` (or an explicit `json:"-"`), so runs that do not exercise
@@ -41,6 +44,7 @@ var Analyzer = &analysis.Analyzer{
 const (
 	obsPkg     = "itsim/internal/obs"
 	metricsPkg = "itsim/internal/metrics"
+	replayPkg  = "itsim/internal/replay"
 )
 
 // summaryBaseline freezes the seed-era field sets of the JSON-serialized
@@ -76,6 +80,8 @@ func run(pass *analysis.Pass) (any, error) {
 		checkSinks(pass)
 	case metricsPkg:
 		checkSummaries(pass)
+	case replayPkg:
+		checkReplay(pass)
 	}
 	return nil, nil
 }
@@ -84,7 +90,7 @@ func run(pass *analysis.Pass) (any, error) {
 // Write method covers every event kind or carries an explicit default.
 func checkSinks(pass *analysis.Pass) {
 	al := itslint.Scan(pass)
-	kinds := eventKinds(pass)
+	kinds := eventKinds(pass.Pkg)
 	if len(kinds) == 0 {
 		return
 	}
@@ -97,33 +103,75 @@ func checkSinks(pass *analysis.Pass) {
 			if !ok || fd.Recv == nil || fd.Name.Name != "Write" {
 				continue
 			}
-			ast.Inspect(fd, func(n ast.Node) bool {
-				sw, ok := n.(*ast.SwitchStmt)
-				if !ok || sw.Tag == nil {
-					return true
-				}
-				if !isEventType(pass.TypesInfo.TypeOf(sw.Tag), pass.Pkg) {
-					return true
-				}
-				checkSwitch(pass, al, sw, kinds)
-				return true
-			})
+			checkEventSwitches(pass, al, fd, kinds, "sink")
 		}
 	}
 	al.Flush("eventsink")
 }
 
-// eventKinds returns the package-level constants of type obs.Type, except
-// the NumTypes array-sizing sentinel, keyed by constant value.
-func eventKinds(pass *analysis.Pass) map[int64]string {
+// checkReplay enforces sink-style exhaustiveness on the replay package: any
+// switch over the obs event type, in any function, must cover every kind or
+// carry an explicit default. Unlike a sink, the replay engines consume the
+// stream long after it was recorded — a silently-dropped kind here is a
+// wrong attribution, not just a thinner trace.
+func checkReplay(pass *analysis.Pass) {
+	al := itslint.Scan(pass)
+	var obs *types.Package
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() == obsPkg {
+			obs = imp
+			break
+		}
+	}
+	if obs == nil {
+		return
+	}
+	kinds := eventKinds(obs)
+	if len(kinds) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		if itslint.IsTestFile(pass, f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			checkEventSwitches(pass, al, fd, kinds, "replay")
+		}
+	}
+	al.Flush("eventsink")
+}
+
+// checkEventSwitches walks one function for switches over the obs event
+// type and checks each for exhaustiveness.
+func checkEventSwitches(pass *analysis.Pass, al *itslint.Allows, fd *ast.FuncDecl, kinds map[int64]string, noun string) {
+	ast.Inspect(fd, func(n ast.Node) bool {
+		sw, ok := n.(*ast.SwitchStmt)
+		if !ok || sw.Tag == nil {
+			return true
+		}
+		if !isEventType(pass.TypesInfo.TypeOf(sw.Tag)) {
+			return true
+		}
+		checkSwitch(pass, al, sw, kinds, noun)
+		return true
+	})
+}
+
+// eventKinds returns pkg's package-level constants of the obs event type,
+// except the NumTypes array-sizing sentinel, keyed by constant value.
+func eventKinds(pkg *types.Package) map[int64]string {
 	kinds := make(map[int64]string)
-	scope := pass.Pkg.Scope()
+	scope := pkg.Scope()
 	for _, name := range scope.Names() {
 		c, ok := scope.Lookup(name).(*types.Const)
 		if !ok || name == "NumTypes" {
 			continue
 		}
-		if !isEventType(c.Type(), pass.Pkg) {
+		if !isEventType(c.Type()) {
 			continue
 		}
 		if v, exact := constant.Int64Val(c.Val()); exact {
@@ -133,18 +181,19 @@ func eventKinds(pass *analysis.Pass) map[int64]string {
 	return kinds
 }
 
-// isEventType reports whether t is this package's event-discriminator type
-// (named Type, declared in the obs package itself).
-func isEventType(t types.Type, pkg *types.Package) bool {
+// isEventType reports whether t is the obs event-discriminator type (named
+// Type, declared in the obs package — matched by import path so the check
+// works from both inside obs and from its consumers).
+func isEventType(t types.Type) bool {
 	named, ok := t.(*types.Named)
 	if !ok {
 		return false
 	}
 	obj := named.Obj()
-	return obj.Name() == "Type" && obj.Pkg() == pkg
+	return obj.Name() == "Type" && obj.Pkg() != nil && obj.Pkg().Path() == obsPkg
 }
 
-func checkSwitch(pass *analysis.Pass, al *itslint.Allows, sw *ast.SwitchStmt, kinds map[int64]string) {
+func checkSwitch(pass *analysis.Pass, al *itslint.Allows, sw *ast.SwitchStmt, kinds map[int64]string, noun string) {
 	handled := make(map[int64]bool)
 	for _, stmt := range sw.Body.List {
 		cc, ok := stmt.(*ast.CaseClause)
@@ -175,9 +224,9 @@ func checkSwitch(pass *analysis.Pass, al *itslint.Allows, sw *ast.SwitchStmt, ki
 	}
 	sort.Strings(missing)
 	al.Report(sw.Pos(),
-		"sink switch does not handle event kinds %s: handle them or add an explicit default "+
+		"%s switch does not handle event kinds %s: handle them or add an explicit default "+
 			"so dropping them is a deliberate act",
-		strings.Join(missing, ", "))
+		noun, strings.Join(missing, ", "))
 }
 
 // checkSummaries enforces the omitempty rule on the serialized summary

@@ -7,12 +7,13 @@ import (
 	"itsim/internal/analysis/eventsink"
 )
 
-// TestEventsink checks both rules on their fixture packages: sink Write
-// switches must handle every event kind or default explicitly
-// (itsim/internal/obs fixture), and summary struct fields outside the
-// frozen seed baseline must carry omitempty or json:"-"
-// (itsim/internal/metrics fixture).
+// TestEventsink checks all three rules on their fixture packages: sink
+// Write switches must handle every event kind or default explicitly
+// (itsim/internal/obs fixture), summary struct fields outside the frozen
+// seed baseline must carry omitempty or json:"-" (itsim/internal/metrics
+// fixture), and replay event switches — in any function — must be
+// exhaustive or explicitly defaulted (itsim/internal/replay fixture).
 func TestEventsink(t *testing.T) {
 	atest.Run(t, "../testdata", eventsink.Analyzer,
-		"itsim/internal/obs", "itsim/internal/metrics")
+		"itsim/internal/obs", "itsim/internal/metrics", "itsim/internal/replay")
 }

@@ -39,6 +39,7 @@ var deterministicPkgs = map[string]bool{
 	"itsim/internal/prefetch": true,
 	"itsim/internal/obs":      true,
 	"itsim/internal/metrics":  true,
+	"itsim/internal/replay":   true,
 }
 
 // Deterministic reports whether the import path belongs to the simulator's

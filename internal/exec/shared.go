@@ -307,10 +307,14 @@ func (s *Shared) ScheduleGauges() {
 	c0 := s.Cores[0]
 	var tick func(now sim.Time)
 	tick = func(now sim.Time) {
-		s.emitGauges(now)
-		if s.Alive() > 0 {
-			c0.Eng.Schedule(now+s.GaugeEvery, tick)
+		if s.Alive() == 0 {
+			// The run is over: a pending tick draining after EvRunEnd must
+			// not emit — replay attribution requires RunEnd to be the last
+			// event of its run.
+			return
 		}
+		s.emitGauges(now)
+		c0.Eng.Schedule(now+s.GaugeEvery, tick)
 	}
 	c0.Eng.Schedule(c0.Eng.Now()+s.GaugeEvery, tick)
 }

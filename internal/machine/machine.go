@@ -142,5 +142,8 @@ func (m *Machine) Run() (*metrics.Run, error) {
 	if err := c.Aud.Err(); err != nil {
 		return s.Run, fmt.Errorf("machine: accounting audit failed: %w", err)
 	}
+	if err := c.CheckFolded(); err != nil {
+		return s.Run, fmt.Errorf("machine: attribution cross-check failed: %w", err)
+	}
 	return s.Run, nil
 }

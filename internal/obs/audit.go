@@ -33,6 +33,9 @@ type Auditor struct {
 	idleOpen   bool
 	idleStart  sim.Time
 	accounted  sim.Time
+	cpuAcc     sim.Time
+	switchAcc  sim.Time
+	idleAcc    sim.Time
 	events     uint64
 	violations []Violation
 }
@@ -116,6 +119,7 @@ func (a *Auditor) Write(ev Event) {
 			a.fail(ev, "occupancy mismatch: event reports %v on CPU, dispatch span is %v", ev.Dur, occ)
 		}
 		a.accounted += occ
+		a.cpuAcc += occ
 		a.dispatched = false
 		a.dispatchP = -1
 	case EvContextSwitch:
@@ -123,6 +127,7 @@ func (a *Auditor) Write(ev Event) {
 			a.fail(ev, "context switch charged while pid %d is on CPU", a.dispatchP)
 		}
 		a.accounted += ev.Dur
+		a.switchAcc += ev.Dur
 	case EvSchedIdleBegin:
 		if a.idleOpen {
 			a.fail(ev, "scheduler-idle begin inside an open idle span")
@@ -138,6 +143,7 @@ func (a *Auditor) Write(ev Event) {
 			break
 		}
 		a.accounted += ev.Time - a.idleStart
+		a.idleAcc += ev.Time - a.idleStart
 		a.idleOpen = false
 	case EvRunEnd:
 		if a.dispatched {
@@ -170,6 +176,18 @@ func (a *Auditor) Events() uint64 { return a.events }
 
 // Accounted returns the virtual time attributed so far.
 func (a *Auditor) Accounted() sim.Time { return a.accounted }
+
+// Folded returns the attributed time split by category — CPU occupancy
+// (dispatch spans), context switching, and scheduler idle. On a clean run
+// the three sum to Accounted(); the machine cross-checks them against the
+// per-core conservation ledger at run end so trace replays (internal/replay)
+// reconcile with metrics by construction, not by coincidence.
+func (a *Auditor) Folded() (cpu, sw, idle sim.Time) {
+	if a == nil {
+		return 0, 0, 0
+	}
+	return a.cpuAcc, a.switchAcc, a.idleAcc
+}
 
 // Violations returns every recorded violation.
 func (a *Auditor) Violations() []Violation { return a.violations }

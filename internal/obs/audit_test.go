@@ -46,6 +46,20 @@ func TestAuditorPassesConservedRun(t *testing.T) {
 	if a.Events() != 12 {
 		t.Fatalf("observed %d events, want 12", a.Events())
 	}
+	cpu, sw, idle := a.Folded()
+	if cpu != 290 || sw != 20 || idle != 90 {
+		t.Fatalf("folded (cpu %v, switch %v, idle %v), want (290, 20, 90)", cpu, sw, idle)
+	}
+	if cpu+sw+idle != a.Accounted() {
+		t.Fatalf("folded categories sum to %v, accounted is %v", cpu+sw+idle, a.Accounted())
+	}
+}
+
+func TestAuditorFoldedNilSafe(t *testing.T) {
+	var a *Auditor
+	if cpu, sw, idle := a.Folded(); cpu != 0 || sw != 0 || idle != 0 {
+		t.Fatal("nil auditor folded totals nonzero")
+	}
 }
 
 // mutate runs goodRun with one event transformed (or dropped when fn returns

@@ -2,9 +2,28 @@ package obs
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
+	"fmt"
 	"io"
+	"strconv"
+	"strings"
+
+	"itsim/internal/sim"
 )
+
+// TraceSchemaVersion identifies the JSONL trace wire format. The sink
+// stamps it into a header line (the first line of every trace file) and
+// readers reject traces whose version they do not understand, so stale
+// tooling fails loudly instead of misattributing fields.
+const TraceSchemaVersion = 1
+
+// traceHeader is the schema-version header: the first line of every JSONL
+// trace, e.g. {"itsim_trace":1}.
+type traceHeader struct {
+	Version int `json:"itsim_trace"`
+}
 
 // jsonlEvent is the wire form of one JSONL event. Times are integer virtual
 // nanoseconds so lines stay trivially machine-readable (jq, awk).
@@ -27,10 +46,15 @@ type JSONL struct {
 	err error
 }
 
-// NewJSONL returns a JSONL sink over w.
+// NewJSONL returns a JSONL sink over w. The schema-version header is
+// written eagerly so even an event-free trace is self-describing.
 func NewJSONL(w io.Writer) *JSONL {
 	bw := bufio.NewWriterSize(w, 64<<10)
-	return &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+	s := &JSONL{bw: bw, enc: json.NewEncoder(bw)}
+	if err := s.enc.Encode(traceHeader{Version: TraceSchemaVersion}); err != nil {
+		s.err = err
+	}
+	return s
 }
 
 // Write implements Sink.
@@ -64,6 +88,62 @@ func (s *JSONL) Close() error {
 		return s.err
 	}
 	return s.bw.Flush()
+}
+
+// DecodeJSONLHeader parses the schema-version header line of a JSONL trace
+// and returns the version it declares. A line that is not a header (for
+// example a bare event line from a pre-versioning trace) is an error.
+func DecodeJSONLHeader(line []byte) (int, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var h traceHeader
+	if err := dec.Decode(&h); err != nil {
+		return 0, fmt.Errorf("obs: not a JSONL trace header: %v", err)
+	}
+	if h.Version <= 0 {
+		return 0, errors.New("obs: JSONL trace header missing itsim_trace version")
+	}
+	return h.Version, nil
+}
+
+// DecodeJSONL parses one JSONL event line back into an Event — the exact
+// inverse of Write for every field the wire form carries (a PID absent on
+// the wire decodes to -1, matching the encoder's omission rule).
+func DecodeJSONL(line []byte) (Event, error) {
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	var je jsonlEvent
+	if err := dec.Decode(&je); err != nil {
+		return Event{}, fmt.Errorf("obs: bad JSONL event: %v", err)
+	}
+	typ, err := ParseType(je.Type)
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{
+		Time:  sim.Time(je.T),
+		Dur:   sim.Time(je.Dur),
+		Value: je.Value,
+		PID:   -1,
+		Core:  je.Core,
+		Type:  typ,
+		Cause: je.Cause,
+	}
+	if je.PID != nil {
+		ev.PID = *je.PID
+	}
+	if je.VA != "" {
+		digits, ok := strings.CutPrefix(je.VA, "0x")
+		if !ok {
+			return Event{}, fmt.Errorf("obs: va %q is not 0x-prefixed hex", je.VA)
+		}
+		va, err := strconv.ParseUint(digits, 16, 64)
+		if err != nil {
+			return Event{}, fmt.Errorf("obs: bad va %q: %v", je.VA, err)
+		}
+		ev.VA = va
+	}
+	return ev, nil
 }
 
 // hexVA renders a virtual address as 0x-prefixed hex.

@@ -175,17 +175,84 @@ func TestJSONLOutput(t *testing.T) {
 		}
 		lines = append(lines, m)
 	}
-	if len(lines) != 2 {
-		t.Fatalf("got %d lines, want 2", len(lines))
+	if len(lines) != 3 {
+		t.Fatalf("got %d lines, want 3 (header + 2 events)", len(lines))
 	}
-	if lines[0]["type"] != "PrefetchIssue" || lines[0]["va"] != "0x2000" || lines[0]["pid"] != float64(2) {
-		t.Fatalf("bad first line: %v", lines[0])
+	if lines[0]["itsim_trace"] != float64(TraceSchemaVersion) {
+		t.Fatalf("bad schema header: %v", lines[0])
 	}
-	if _, ok := lines[1]["pid"]; ok {
-		t.Fatalf("machine-scope event should omit pid: %v", lines[1])
+	if lines[1]["type"] != "PrefetchIssue" || lines[1]["va"] != "0x2000" || lines[1]["pid"] != float64(2) {
+		t.Fatalf("bad first event line: %v", lines[1])
 	}
-	if lines[1]["cause"] != "llc_lines" || lines[1]["value"] != float64(42) {
-		t.Fatalf("bad gauge line: %v", lines[1])
+	if _, ok := lines[2]["pid"]; ok {
+		t.Fatalf("machine-scope event should omit pid: %v", lines[2])
+	}
+	if lines[2]["cause"] != "llc_lines" || lines[2]["value"] != float64(42) {
+		t.Fatalf("bad gauge line: %v", lines[2])
+	}
+}
+
+func TestJSONLHeaderDecode(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	v, err := DecodeJSONLHeader(bytes.TrimSpace(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("decoding own header: %v", err)
+	}
+	if v != TraceSchemaVersion {
+		t.Fatalf("header version %d, want %d", v, TraceSchemaVersion)
+	}
+	if _, err := DecodeJSONLHeader([]byte(`{"t":0,"type":"RunBegin"}`)); err == nil {
+		t.Fatal("bare event line accepted as a header")
+	}
+	if _, err := DecodeJSONLHeader([]byte("not json")); err == nil {
+		t.Fatal("junk accepted as a header")
+	}
+}
+
+// TestJSONLRoundTrip proves DecodeJSONL is the exact inverse of Write for
+// every field the wire form carries.
+func TestJSONLRoundTrip(t *testing.T) {
+	events := []Event{
+		{Time: 0, Type: EvRunBegin, PID: -1, Cause: "ITS/test"},
+		{Time: 10, Type: EvDispatch, PID: 3, Core: 1, Value: 7, Cause: "wrf"},
+		{Time: 1500, Type: EvPrefetchIssue, PID: 2, VA: 0xdead2000, Dur: 3000},
+		{Time: 2000, Type: EvGauge, PID: -1, Core: 2, Cause: "llc_lines", Value: 42},
+		{Time: 9000, Type: EvMajorFaultEnd, PID: 0, VA: 0x1000, Dur: 4500, Cause: "sync"},
+		{Time: 9500, Type: EvRunEnd, PID: -1},
+	}
+	var buf bytes.Buffer
+	s := NewJSONL(&buf)
+	for _, ev := range events {
+		s.Write(ev)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	if !sc.Scan() {
+		t.Fatal("missing header line")
+	}
+	for i, want := range events {
+		if !sc.Scan() {
+			t.Fatalf("trace ended before event %d", i)
+		}
+		got, err := DecodeJSONL(sc.Bytes())
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("event %d round-trip mismatch:\n got %+v\nwant %+v", i, got, want)
+		}
+	}
+	if _, err := DecodeJSONL([]byte(`{"t":1,"type":"NoSuchEvent"}`)); err == nil {
+		t.Fatal("unknown event type accepted")
+	}
+	if _, err := DecodeJSONL([]byte(`{"t":1,"type":"Dispatch","va":"2000"}`)); err == nil {
+		t.Fatal("unprefixed va accepted")
 	}
 }
 

@@ -1,0 +1,205 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"itsim/internal/obs"
+	"itsim/internal/sim"
+)
+
+// Divergence is the first point at which two traces stop agreeing. Index is
+// 0-based over events (the schema header does not count); a nil side means
+// that trace ended while the other continued.
+type Divergence struct {
+	Index int        `json:"index"`
+	A     *obs.Event `json:"a,omitempty"`
+	B     *obs.Event `json:"b,omitempty"`
+}
+
+// CounterDrift is one event type whose count or total duration differs
+// between the traces.
+type CounterDrift struct {
+	Type   string   `json:"type"`
+	CountA uint64   `json:"count_a"`
+	CountB uint64   `json:"count_b"`
+	DurA   sim.Time `json:"dur_a_ns"`
+	DurB   sim.Time `json:"dur_b_ns"`
+}
+
+// WindowDelta compares event activity in a ±Window interval around one
+// fault-injection event: how far the perturbation spread.
+type WindowDelta struct {
+	At     sim.Time `json:"t_ns"`
+	Cause  string   `json:"cause"`
+	CountA int      `json:"count_a"`
+	CountB int      `json:"count_b"`
+}
+
+// DiffResult is the full event-level comparison of two traces.
+type DiffResult struct {
+	EventsA int         `json:"events_a"`
+	EventsB int         `json:"events_b"`
+	First   *Divergence `json:"first_divergence,omitempty"`
+	// Drift lists event types whose count or summed duration differ,
+	// in enum order.
+	Drift []CounterDrift `json:"counter_drift,omitempty"`
+	// Windows lists fault-injection windows whose event counts differ.
+	// Window centers come from trace A (falling back to B when A carries
+	// no injections at all).
+	Windows []WindowDelta `json:"fault_windows,omitempty"`
+	// Window is the half-width used for the fault-window comparison.
+	Window sim.Time `json:"window_ns"`
+}
+
+// Identical reports byte-level event equality: same events in the same
+// order. When true, Drift and Windows are necessarily empty.
+func (d *DiffResult) Identical() bool { return d.First == nil && d.EventsA == d.EventsB }
+
+// sideStats accumulates one trace's aggregate view while streaming.
+type sideStats struct {
+	counts  [obs.NumTypes]uint64
+	durs    [obs.NumTypes]sim.Time
+	times   []int64
+	injects []obs.Event
+	n       int
+}
+
+func (s *sideStats) add(ev obs.Event) {
+	s.counts[ev.Type]++
+	s.durs[ev.Type] += ev.Dur
+	s.times = append(s.times, int64(ev.Time))
+	if ev.Type == obs.EvFaultInject {
+		s.injects = append(s.injects, ev)
+	}
+	s.n++
+}
+
+// Diff aligns two traces event-by-event and reports the first divergent
+// event, per-counter drift, and event-count deltas in ±window around each
+// fault injection. Identically-seeded runs must come back Identical; a
+// one-event perturbation is localized to its first divergent event.
+func Diff(ra, rb *Reader, window sim.Time) (*DiffResult, error) {
+	if window <= 0 {
+		window = 50 * sim.Microsecond
+	}
+	res := &DiffResult{Window: window}
+	var sa, sb sideStats
+	for {
+		eva, oka, err := ra.Next()
+		if err != nil {
+			return nil, fmt.Errorf("trace A: %w", err)
+		}
+		evb, okb, err := rb.Next()
+		if err != nil {
+			return nil, fmt.Errorf("trace B: %w", err)
+		}
+		if oka {
+			sa.add(eva)
+		}
+		if okb {
+			sb.add(evb)
+		}
+		if !oka && !okb {
+			break
+		}
+		if res.First == nil {
+			switch {
+			case oka && !okb:
+				a := eva
+				res.First = &Divergence{Index: sa.n - 1, A: &a}
+			case !oka && okb:
+				b := evb
+				res.First = &Divergence{Index: sb.n - 1, B: &b}
+			case eva != evb:
+				a, b := eva, evb
+				res.First = &Divergence{Index: sa.n - 1, A: &a, B: &b}
+			}
+		}
+		// Past the first divergence, keep draining both sides so counter
+		// and window statistics cover the whole traces.
+	}
+	res.EventsA, res.EventsB = sa.n, sb.n
+	if res.Identical() {
+		return res, nil
+	}
+
+	for t := obs.Type(0); t < obs.NumTypes; t++ {
+		if sa.counts[t] != sb.counts[t] || sa.durs[t] != sb.durs[t] {
+			res.Drift = append(res.Drift, CounterDrift{
+				Type:   t.String(),
+				CountA: sa.counts[t], CountB: sb.counts[t],
+				DurA: sa.durs[t], DurB: sb.durs[t],
+			})
+		}
+	}
+
+	centers := sa.injects
+	if len(centers) == 0 {
+		centers = sb.injects
+	}
+	if len(centers) > 0 {
+		// Event times are only per-core monotonic in the file; sort copies
+		// for the window counting.
+		sort.Slice(sa.times, func(i, j int) bool { return sa.times[i] < sa.times[j] })
+		sort.Slice(sb.times, func(i, j int) bool { return sb.times[i] < sb.times[j] })
+		for _, c := range centers {
+			lo, hi := int64(c.Time-window), int64(c.Time+window)
+			na := countRange(sa.times, lo, hi)
+			nb := countRange(sb.times, lo, hi)
+			if na != nb {
+				res.Windows = append(res.Windows, WindowDelta{At: c.Time, Cause: c.Cause, CountA: na, CountB: nb})
+			}
+		}
+	}
+	return res, nil
+}
+
+// countRange counts values in [lo, hi] within a sorted slice.
+func countRange(ts []int64, lo, hi int64) int {
+	a := sort.Search(len(ts), func(i int) bool { return ts[i] >= lo })
+	b := sort.Search(len(ts), func(i int) bool { return ts[i] > hi })
+	return b - a
+}
+
+// fmtEvent renders one event compactly for diff reports.
+func fmtEvent(ev *obs.Event) string {
+	if ev == nil {
+		return "<end of trace>"
+	}
+	return fmt.Sprintf("%s t=%d core=%d pid=%d va=%#x dur=%d value=%d cause=%q",
+		ev.Type, int64(ev.Time), ev.Core, ev.PID, ev.VA, int64(ev.Dur), ev.Value, ev.Cause)
+}
+
+// WriteText renders the diff as a deterministic human-readable report.
+func (d *DiffResult) WriteText(w io.Writer) error {
+	if d.Identical() {
+		_, err := fmt.Fprintf(w, "traces identical: %d events\n", d.EventsA)
+		return err
+	}
+	var err error
+	pf := func(format string, args ...any) {
+		if err == nil {
+			_, err = fmt.Fprintf(w, format, args...)
+		}
+	}
+	pf("traces diverge (%d vs %d events)\n", d.EventsA, d.EventsB)
+	if d.First != nil {
+		pf("first divergence at event #%d:\n  a: %s\n  b: %s\n",
+			d.First.Index, fmtEvent(d.First.A), fmtEvent(d.First.B))
+	}
+	if len(d.Drift) > 0 {
+		pf("counter drift:\n")
+		for _, c := range d.Drift {
+			pf("  %-18s count %d -> %d, dur %d -> %d\n", c.Type, c.CountA, c.CountB, int64(c.DurA), int64(c.DurB))
+		}
+	}
+	if len(d.Windows) > 0 {
+		pf("fault-injection windows (±%v) with event-count deltas:\n", d.Window)
+		for _, fw := range d.Windows {
+			pf("  t=%d cause=%q: %d -> %d events\n", int64(fw.At), fw.Cause, fw.CountA, fw.CountB)
+		}
+	}
+	return err
+}

@@ -1,0 +1,143 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"itsim/internal/obs"
+	"itsim/internal/sim"
+)
+
+// diffEvents runs Diff over two handcrafted streams through the real wire
+// format.
+func diffEvents(t *testing.T, a, b []obs.Event, window sim.Time) *DiffResult {
+	t.Helper()
+	ra, err := NewReader(bytes.NewReader(encode(t, a...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := NewReader(bytes.NewReader(encode(t, b...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Diff(ra, rb, window)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDiffIdentical(t *testing.T) {
+	d := diffEvents(t, goodTrace(), goodTrace(), 0)
+	if !d.Identical() {
+		t.Fatalf("identical traces diverge: %+v", d)
+	}
+	if d.First != nil || len(d.Drift) != 0 || len(d.Windows) != 0 {
+		t.Fatalf("identical diff carries findings: %+v", d)
+	}
+	if d.EventsA != len(goodTrace()) || d.EventsB != len(goodTrace()) {
+		t.Fatalf("event counts %d/%d, want %d", d.EventsA, d.EventsB, len(goodTrace()))
+	}
+	var out bytes.Buffer
+	if err := d.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "traces identical: 19 events") {
+		t.Fatalf("unexpected report: %s", out.String())
+	}
+}
+
+func TestDiffFirstDivergentEvent(t *testing.T) {
+	b := goodTrace()
+	b[7].Dur++ // ProcFinish @100: occupancy perturbed by 1ns
+	d := diffEvents(t, goodTrace(), b, 0)
+	if d.Identical() {
+		t.Fatal("perturbed trace diffs as identical")
+	}
+	if d.First == nil || d.First.Index != 7 {
+		t.Fatalf("first divergence %+v, want index 7", d.First)
+	}
+	if d.First.A == nil || d.First.B == nil ||
+		d.First.A.Type != obs.EvProcFinish || d.First.B.Dur != d.First.A.Dur+1 {
+		t.Fatalf("divergent pair wrong: a=%+v b=%+v", d.First.A, d.First.B)
+	}
+	if len(d.Drift) != 1 || d.Drift[0].Type != "ProcFinish" ||
+		d.Drift[0].CountA != d.Drift[0].CountB || d.Drift[0].DurB != d.Drift[0].DurA+1 {
+		t.Fatalf("drift %+v not localized to ProcFinish duration", d.Drift)
+	}
+}
+
+func TestDiffLengthMismatch(t *testing.T) {
+	a := goodTrace()
+	b := a[:len(a)-1] // trace B ends early
+	d := diffEvents(t, a, b, 0)
+	if d.Identical() {
+		t.Fatal("truncated trace diffs as identical")
+	}
+	if d.First == nil || d.First.Index != len(b) || d.First.A == nil || d.First.B != nil {
+		t.Fatalf("divergence %+v, want one-sided at index %d", d.First, len(b))
+	}
+	var out bytes.Buffer
+	if err := d.WriteText(&out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "<end of trace>") {
+		t.Fatalf("report does not show the one-sided end:\n%s", out.String())
+	}
+}
+
+func TestDiffCounterDriftAggregates(t *testing.T) {
+	b := goodTrace()
+	// Swap the async fault end for a gauge: two types drift in count.
+	b[14] = obs.Event{Time: 250, Type: obs.EvGauge, PID: -1, Value: 9, Cause: "llc_lines"}
+	d := diffEvents(t, goodTrace(), b, 0)
+	if len(d.Drift) != 2 {
+		t.Fatalf("drift %+v, want MajorFaultEnd and Gauge entries", d.Drift)
+	}
+	// Enum order: MajorFaultEnd before Gauge.
+	if d.Drift[0].Type != "MajorFaultEnd" || d.Drift[0].CountA != 2 || d.Drift[0].CountB != 1 {
+		t.Fatalf("drift[0] wrong: %+v", d.Drift[0])
+	}
+	if d.Drift[1].Type != "Gauge" || d.Drift[1].CountA != 0 || d.Drift[1].CountB != 1 {
+		t.Fatalf("drift[1] wrong: %+v", d.Drift[1])
+	}
+}
+
+func TestDiffFaultWindows(t *testing.T) {
+	// Both traces carry a fault injection at t=120; trace B gains an extra
+	// retry inside the ±100ns window and an unrelated far-away event.
+	mk := func(extra ...obs.Event) []obs.Event {
+		evs := []obs.Event{
+			{Time: 0, Type: obs.EvRunBegin, PID: -1, Cause: "ITS/test"},
+			{Time: 120, Type: obs.EvFaultInject, PID: 0, Cause: "tail"},
+		}
+		evs = append(evs, extra...)
+		return append(evs, obs.Event{Time: 5000, Type: obs.EvRunEnd, PID: -1})
+	}
+	a := mk()
+	b := mk(
+		obs.Event{Time: 150, Type: obs.EvIORetry, PID: 0, Cause: "dma"},
+		obs.Event{Time: 4000, Type: obs.EvGauge, PID: -1, Cause: "llc_lines"},
+	)
+	d := diffEvents(t, a, b, 100)
+	if d.Window != 100 {
+		t.Fatalf("window %v, want 100", d.Window)
+	}
+	if len(d.Windows) != 1 {
+		t.Fatalf("windows %+v, want exactly the t=120 injection", d.Windows)
+	}
+	w := d.Windows[0]
+	if w.At != 120 || w.Cause != "tail" || w.CountA != 1 || w.CountB != 2 {
+		t.Fatalf("window delta wrong: %+v", w)
+	}
+}
+
+func TestDiffDefaultWindow(t *testing.T) {
+	b := goodTrace()
+	b[7].Dur++
+	d := diffEvents(t, goodTrace(), b, 0)
+	if d.Window != 50*sim.Microsecond {
+		t.Fatalf("default window %v, want 50µs", d.Window)
+	}
+}

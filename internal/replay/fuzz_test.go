@@ -1,0 +1,68 @@
+package replay
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"itsim/internal/obs"
+)
+
+// FuzzReplayRead feeds arbitrary bytes through the trace reader and the
+// three analytics engines. The reader must never panic on hostile input,
+// and any trace it accepts must round-trip losslessly through the JSONL
+// sink: decode → encode → decode is the identity.
+func FuzzReplayRead(f *testing.F) {
+	f.Add([]byte(""))
+	f.Add([]byte("{\"itsim_trace\":1}\n"))
+	f.Add([]byte("{\"itsim_trace\":99}\n"))
+	f.Add([]byte("{\"t\":0,\"type\":\"RunBegin\"}\n"))
+	f.Add(encode(f, goodTrace()...))
+	f.Add(encode(f, []obs.Event{
+		{Time: 0, Type: obs.EvRunBegin, PID: -1, Cause: "ITS/seed"},
+		{Time: 3, Type: obs.EvFaultInject, PID: 0, VA: 0xdead, Cause: "tail"},
+		{Time: 9, Type: obs.EvRunEnd, PID: -1},
+	}...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: the only requirement is no panic
+		}
+
+		// Accepted traces must survive an encode/decode round trip intact.
+		var buf bytes.Buffer
+		sink := obs.NewJSONL(&buf)
+		for _, ev := range evs {
+			sink.Write(ev)
+		}
+		if err := sink.Close(); err != nil {
+			t.Fatalf("re-encoding accepted trace: %v", err)
+		}
+		again, err := ReadAll(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading re-encoded trace: %v", err)
+		}
+		if len(evs) == 0 {
+			if len(again) != 0 {
+				t.Fatalf("empty trace re-read as %d events", len(again))
+			}
+		} else if !reflect.DeepEqual(evs, again) {
+			t.Fatalf("round trip lossy:\n in: %+v\nout: %+v", evs, again)
+		}
+
+		// The engines may reject the stream, but must not panic on it.
+		if r, err := NewReader(bytes.NewReader(data)); err == nil {
+			_, _ = Attribute(r)
+		}
+		if r, err := NewReader(bytes.NewReader(data)); err == nil {
+			_, _ = BuildTimeline(r, 0)
+		}
+		ra, errA := NewReader(bytes.NewReader(data))
+		rb, errB := NewReader(bytes.NewReader(data))
+		if errA == nil && errB == nil {
+			if d, err := Diff(ra, rb, 0); err == nil && !d.Identical() {
+				t.Fatal("trace diffs against itself as divergent")
+			}
+		}
+	})
+}

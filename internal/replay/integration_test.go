@@ -1,0 +1,210 @@
+package replay_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"itsim/internal/core"
+	"itsim/internal/fault"
+	"itsim/internal/obs"
+	"itsim/internal/policy"
+	"itsim/internal/replay"
+	"itsim/internal/sim"
+	"itsim/internal/workload"
+)
+
+// The acceptance criterion: for every policy and core count of the test
+// matrix, the replayed attribution totals must reconcile exactly — zero
+// tolerance, virtual-time arithmetic — with the per-core conservation
+// ledger (CPUTime + SchedulerIdle + ContextSwitchTime == LocalClock).
+func TestAttributeReconcilesWithLedgerMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full policy×cores matrix is slow")
+	}
+	b := workload.Batches()[1]
+	for _, kind := range policy.Kinds() {
+		for _, cores := range []int{1, 2, 4} {
+			t.Run(fmt.Sprintf("%s/cores=%d", kind, cores), func(t *testing.T) {
+				var buf bytes.Buffer
+				trc := obs.NewTracer(obs.NewJSONL(&buf), obs.Filter{})
+				run, err := core.RunBatch(b, kind, core.Options{Scale: 0.02, Cores: cores, Tracer: trc})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := trc.Close(); err != nil {
+					t.Fatal(err)
+				}
+				r, err := replay.NewReader(&buf)
+				if err != nil {
+					t.Fatal(err)
+				}
+				att, err := replay.Attribute(r)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(att.Runs) != 1 {
+					t.Fatalf("got %d runs, want 1", len(att.Runs))
+				}
+				sum := run.Summary()
+				if err := sum.CheckAttribution(att.Runs[0].CoreAttributions()); err != nil {
+					t.Fatal(err)
+				}
+			})
+		}
+	}
+}
+
+// A faulty, spin-budgeted ITS run (demotions, retries, injected tail
+// spikes) must reconcile just as exactly as a healthy one.
+func TestAttributeReconcilesUnderFaultInjection(t *testing.T) {
+	b := workload.Batches()[1]
+	for _, cores := range []int{1, 2} {
+		t.Run(fmt.Sprintf("cores=%d", cores), func(t *testing.T) {
+			var buf bytes.Buffer
+			trc := obs.NewTracer(obs.NewJSONL(&buf), obs.Filter{})
+			run, err := core.RunBatch(b, policy.ITS, core.Options{
+				Scale: 0.02, Cores: cores, Tracer: trc,
+				Fault:      fault.Config{Seed: 42, TailProb: 0.2, TailMult: 16, StallProb: 0.01, DMAFailProb: 0.05},
+				SpinBudget: 4 * sim.Microsecond,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := trc.Close(); err != nil {
+				t.Fatal(err)
+			}
+			r, err := replay.NewReader(&buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			att, err := replay.Attribute(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum := run.Summary()
+			if err := sum.CheckAttribution(att.Runs[0].CoreAttributions()); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Two identically-seeded runs must replay-diff to zero divergence, and
+// their folded attribution output must be byte-identical.
+func TestDiffIdenticalSeededRuns(t *testing.T) {
+	mk := func() []byte {
+		var buf bytes.Buffer
+		trc := obs.NewTracer(obs.NewJSONL(&buf), obs.Filter{})
+		_, err := core.RunBatch(workload.Batches()[1], policy.ITS, core.Options{
+			Scale: 0.02, Tracer: trc,
+			Fault:      fault.Config{Seed: 7, TailProb: 0.1, TailMult: 8, DMAFailProb: 0.02},
+			SpinBudget: 4 * sim.Microsecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := trc.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a, b) {
+		t.Fatal("identically-seeded traces differ at the byte level")
+	}
+	ra, err := replay.NewReader(bytes.NewReader(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := replay.NewReader(bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := replay.Diff(ra, rb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !d.Identical() {
+		var rep bytes.Buffer
+		_ = d.WriteText(&rep)
+		t.Fatalf("identically-seeded runs diverge:\n%s", rep.String())
+	}
+
+	fold := func(data []byte) []byte {
+		r, err := replay.NewReader(bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		att, err := replay.Attribute(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out bytes.Buffer
+		if err := att.WriteFolded(&out); err != nil {
+			t.Fatal(err)
+		}
+		return out.Bytes()
+	}
+	if !bytes.Equal(fold(a), fold(b)) {
+		t.Fatal("folded attribution output not byte-identical across identical traces")
+	}
+}
+
+// A one-event perturbation must be localized to its first divergent event.
+func TestDiffLocalizesPerturbation(t *testing.T) {
+	var buf bytes.Buffer
+	trc := obs.NewTracer(obs.NewJSONL(&buf), obs.Filter{})
+	_, err := core.RunBatch(workload.Batches()[1], policy.ITS, core.Options{Scale: 0.02, Tracer: trc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	evs, err := replay.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) < 100 {
+		t.Fatalf("trace too short (%d events) for a mid-stream perturbation", len(evs))
+	}
+	idx := len(evs) / 2
+	perturbed := make([]obs.Event, len(evs))
+	copy(perturbed, evs)
+	perturbed[idx].Dur += 3
+
+	var pbuf bytes.Buffer
+	sink := obs.NewJSONL(&pbuf)
+	for _, ev := range perturbed {
+		sink.Write(ev)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	ra, err := replay.NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := replay.NewReader(bytes.NewReader(pbuf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := replay.Diff(ra, rb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Identical() {
+		t.Fatal("perturbed trace diffs as identical")
+	}
+	if d.First == nil || d.First.Index != idx {
+		t.Fatalf("first divergence at %+v, want index %d", d.First, idx)
+	}
+	if d.First.A == nil || d.First.B == nil || d.First.B.Dur != d.First.A.Dur+3 {
+		t.Fatalf("divergent pair does not show the perturbation: %+v", d.First)
+	}
+	if len(d.Drift) != 1 || d.Drift[0].Type != evs[idx].Type.String() {
+		t.Fatalf("counter drift %+v not localized to the perturbed type %s", d.Drift, evs[idx].Type)
+	}
+}

@@ -1,0 +1,110 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"itsim/internal/obs"
+)
+
+// encode serializes events through the real JSONL sink, header included.
+func encode(t testing.TB, evs ...obs.Event) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	s := obs.NewJSONL(&buf)
+	for _, ev := range evs {
+		s.Write(ev)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestReaderRejectsMissingHeader(t *testing.T) {
+	_, err := NewReader(strings.NewReader(`{"t":0,"type":"RunBegin"}` + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "header") {
+		t.Fatalf("headerless trace accepted (err %v)", err)
+	}
+}
+
+func TestReaderRejectsUnknownVersion(t *testing.T) {
+	_, err := NewReader(strings.NewReader(`{"itsim_trace":99}` + "\n"))
+	if err == nil || !strings.Contains(err.Error(), "version 99") {
+		t.Fatalf("future schema version accepted (err %v)", err)
+	}
+}
+
+func TestReaderRejectsEmptyInput(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestReaderReportsBadLineNumber(t *testing.T) {
+	in := `{"itsim_trace":1}` + "\n" + `{"t":0,"type":"RunBegin"}` + "\n" + "junk\n"
+	r, err := NewReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, err := r.Next(); err != nil || !ok {
+		t.Fatalf("valid event rejected: %v", err)
+	}
+	_, _, err = r.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("junk line error %v does not name line 3", err)
+	}
+}
+
+func TestReaderRejectsInvalidFields(t *testing.T) {
+	for _, bad := range []string{
+		`{"t":-5,"type":"Dispatch"}`,
+		`{"t":1,"type":"Dispatch","dur":-1}`,
+		`{"t":1,"type":"Dispatch","core":-2}`,
+		`{"t":1,"type":"Dispatch","pid":-7}`,
+		`{"t":1,"type":"NoSuchType"}`,
+		`{"t":1,"type":"Dispatch","bogus":3}`,
+	} {
+		r, err := NewReader(strings.NewReader(`{"itsim_trace":1}` + "\n" + bad + "\n"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := r.Next(); err == nil {
+			t.Fatalf("invalid line %s accepted", bad)
+		}
+	}
+}
+
+func TestReaderRejectsOversizedLine(t *testing.T) {
+	in := `{"itsim_trace":1}` + "\n" + strings.Repeat("x", MaxLineBytes+1) + "\n"
+	r, err := NewReader(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.Next(); err == nil {
+		t.Fatal("oversized line accepted")
+	}
+}
+
+func TestReadAllRoundTrip(t *testing.T) {
+	want := []obs.Event{
+		{Time: 0, Type: obs.EvRunBegin, PID: -1, Cause: "ITS/test"},
+		{Time: 5, Type: obs.EvDispatch, PID: 0, Core: 1, Value: 3, Cause: "wrf"},
+		{Time: 9, Type: obs.EvMajorFaultEnd, PID: 0, Core: 1, VA: 0x2000, Dur: 4, Cause: "sync"},
+		{Time: 12, Type: obs.EvProcFinish, PID: 0, Core: 1, Dur: 12},
+		{Time: 12, Type: obs.EvRunEnd, PID: -1},
+	}
+	got, err := ReadAll(bytes.NewReader(encode(t, want...)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("read %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: got %+v want %+v", i, got[i], want[i])
+		}
+	}
+}

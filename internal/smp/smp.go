@@ -208,6 +208,9 @@ func (m *Machine) Run() (*metrics.Run, error) {
 		if err := c.Aud.Err(); err != nil {
 			return s.Run, fmt.Errorf("smp: core %d accounting audit failed: %w", c.ID, err)
 		}
+		if err := c.CheckFolded(); err != nil {
+			return s.Run, fmt.Errorf("smp: core %d attribution cross-check failed: %w", c.ID, err)
+		}
 	}
 	s.CollectInjection()
 	return s.Run, nil
