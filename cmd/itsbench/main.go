@@ -11,7 +11,9 @@
 //	xover  — huge-I/O sync-vs-async crossover sweep (§1 motivation)
 //	spin   — ITS vs kernel-style hybrid polling (spin-then-block)
 //	sens   — Figure 4a robustness across random priority draws
-//	all    — everything above
+//	fleet  — multi-machine serving sweep: routing × Sync/ITS per-tenant tails
+//	all    — everything above except fleet (which extends, not reproduces,
+//	         the paper, and would shift the frozen `-exp all` document)
 //
 // Usage:
 //
@@ -83,7 +85,7 @@ func main() {
 		os.Exit(perfMain(os.Args[2:], os.Stdout))
 	}
 	var p params
-	flag.StringVar(&p.exp, "exp", "all", "experiment: obs|fig4a|fig4b|fig4c|fig5a|fig5b|setup|xover|spin|sens|all")
+	flag.StringVar(&p.exp, "exp", "all", "experiment: obs|fig4a|fig4b|fig4c|fig5a|fig5b|setup|xover|spin|sens|fleet|all")
 	flag.Float64Var(&p.scale, "scale", 0.25, "workload scale factor")
 	flag.IntVar(&p.cores, "cores", 0, "simulated core count (0/1 = single-core; >1 = SMP with work stealing)")
 	flag.StringVar(&p.format, "format", "text", "output format: text|csv|chart|json")
@@ -129,6 +131,9 @@ type jsonDoc struct {
 	// Perf is the `itsbench perf` simulator-throughput trajectory
 	// (BENCH_<n>.json snapshots; see perf.go).
 	Perf []PerfPoint `json:"perf,omitempty"`
+	// Fleet holds the `-exp fleet` serving-sweep summaries, one per
+	// routing × policy cell (see fleet.go).
+	Fleet []metrics.FleetSummary `json:"fleet,omitempty"`
 }
 
 func run(p params) error {
@@ -164,7 +169,7 @@ func run(p params) error {
 	}
 	needGrid := false
 	switch p.exp {
-	case "obs", "setup", "xover", "spin", "sens":
+	case "obs", "setup", "xover", "spin", "sens", "fleet":
 	case "fig4a", "fig4b", "fig4c", "fig5a", "fig5b", "all":
 		needGrid = true
 	default:
@@ -254,6 +259,14 @@ func runExperiments(exp string, needGrid bool, opts core.Options, format string,
 	}
 	if show("sens") {
 		if err := printSensitivity(opts, format, doc); err != nil {
+			return err
+		}
+	}
+	// The fleet sweep is opt-in only: it extends the paper rather than
+	// reproducing a figure, and folding it into "all" would change the
+	// byte layout of every frozen `-exp all` regression document.
+	if exp == "fleet" {
+		if err := printFleet(opts, format, doc); err != nil {
 			return err
 		}
 	}

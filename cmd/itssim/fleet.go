@@ -1,0 +1,220 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"itsim/internal/cluster"
+	"itsim/internal/fault"
+	"itsim/internal/metrics"
+	"itsim/internal/obs"
+	"itsim/internal/policy"
+	"itsim/internal/sim"
+)
+
+const fleetUsage = `usage: itssim fleet [flags]
+
+Run a fleet of simulated machines serving multi-tenant open-loop request
+traffic under one I/O-mode policy and one routing policy, and report
+per-tenant latency and SLO attainment.
+
+Tenant specs are ';'-separated lists of comma-separated key=value pairs:
+  name, bench, rate (req/s), requests (alias req), prio, scale,
+  pattern (steady|diurnal|bursty|multiperiod), period, amp, slo, seed
+e.g. -tenants 'name=web,bench=pagerank,rate=4e5,req=16,slo=20ms;bench=caffe,req=8'
+
+Routing policies: round-robin, least-loaded, locality.
+
+flags:
+`
+
+// fleetMain is the `itssim fleet` entry point. Exit codes: 0 success,
+// 1 run error, 2 usage error.
+func fleetMain(args []string, out io.Writer) int {
+	fs := flag.NewFlagSet("itssim fleet", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fs.Usage = func() {
+		fmt.Fprint(out, fleetUsage)
+		fs.PrintDefaults()
+	}
+	var (
+		machines         = fs.Int("machines", 3, "number of simulated machines in the fleet")
+		slots            = fs.Int("slots", 0, "max requests batched into one machine epoch (0 = default)")
+		tenants          = fs.String("tenants", "bench=caffe,req=8,prio=3,slo=50ms;bench=pagerank,req=8,prio=1", "tenant spec (see above)")
+		routing          = fs.String("routing", cluster.RoundRobin, "routing policy: "+strings.Join(cluster.RouterNames(), "|"))
+		policyName       = fs.String("policy", "ITS", "I/O-mode policy every machine runs")
+		seed             = fs.Uint64("seed", 0, "fleet seed perturbing every tenant's trace and arrival streams (0 = pinned defaults)")
+		scale            = fs.Float64("scale", 1.0, "multiplier on every tenant's per-request workload scale")
+		cores            = fs.Int("cores", 0, "per-machine core count (0/1 = single-core; >1 = SMP)")
+		format           = fs.String("format", "text", "summary format: text|json")
+		verbose          = fs.Bool("v", false, "per-epoch detail")
+		traceOut         = fs.String("trace-out", "", "write the fleet event trace to this file (empty = off)")
+		traceFormat      = fs.String("trace-format", "chrome", "trace format: chrome|jsonl")
+		traceFilter      = fs.String("trace-filter", "", "comma-separated event types and pid=N entries (empty = all)")
+		gaugeEvery       = fs.Duration("gauge-interval", 0, "virtual-time gauge sampling interval inside epochs (0 = off)")
+		faults           = fs.String("faults", "", "device fault-injection spec applied to every machine (seed mixed per machine)")
+		spinBudget       = fs.Duration("spin-budget", 0, "demote synchronous waits predicted to exceed this budget (0 = off)")
+		prefetchThrottle = fs.Float64("prefetch-throttle", 0, "ITS prefetch admission threshold on busy channels (0 = off)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(out, "itssim fleet: unexpected arguments %q\n", fs.Args())
+		return 2
+	}
+	if err := runFleet(out, fleetParams{
+		machines: *machines, slots: *slots, tenants: *tenants, routing: *routing,
+		policy: *policyName, seed: *seed, scale: *scale, cores: *cores,
+		format: *format, verbose: *verbose,
+		traceOut: *traceOut, traceFormat: *traceFormat, traceFilter: *traceFilter,
+		gaugeEvery: *gaugeEvery, faults: *faults, spinBudget: *spinBudget,
+		prefetchThrottle: *prefetchThrottle,
+	}); err != nil {
+		fmt.Fprintln(out, "itssim fleet:", err)
+		return 1
+	}
+	return 0
+}
+
+type fleetParams struct {
+	machines, slots  int
+	tenants, routing string
+	policy           string
+	seed             uint64
+	scale            float64
+	cores            int
+	format           string
+	verbose          bool
+	traceOut         string
+	traceFormat      string
+	traceFilter      string
+	gaugeEvery       time.Duration
+	faults           string
+	spinBudget       time.Duration
+	prefetchThrottle float64
+}
+
+func runFleet(out io.Writer, p fleetParams) error {
+	if p.format != "text" && p.format != "json" {
+		return fmt.Errorf("unknown format %q (want text or json)", p.format)
+	}
+	kind, err := policy.KindByName(p.policy)
+	if err != nil {
+		return err
+	}
+	specs, err := cluster.ParseTenantSpec(p.tenants)
+	if err != nil {
+		return err
+	}
+	faultCfg, err := fault.ParseSpec(p.faults)
+	if err != nil {
+		return err
+	}
+	if p.spinBudget < 0 {
+		return fmt.Errorf("negative spin budget %v", p.spinBudget)
+	}
+	if p.prefetchThrottle < 0 || p.prefetchThrottle > 1 {
+		return fmt.Errorf("prefetch-throttle %v outside [0,1]", p.prefetchThrottle)
+	}
+	trc, err := obs.TracerFromFlags(p.traceOut, p.traceFormat, p.traceFilter)
+	if err != nil {
+		return err
+	}
+	cfg := cluster.Config{
+		Machines:      p.machines,
+		Slots:         p.slots,
+		Policy:        kind,
+		ITS:           policy.ITSConfig{PrefetchThrottleFraction: p.prefetchThrottle},
+		Routing:       p.routing,
+		Tenants:       specs,
+		Scale:         p.scale,
+		Seed:          p.seed,
+		Cores:         p.cores,
+		Fault:         faultCfg,
+		SpinBudget:    sim.Time(p.spinBudget.Nanoseconds()),
+		Tracer:        trc,
+		GaugeInterval: sim.Time(p.gaugeEvery.Nanoseconds()),
+	}
+	res, err := cluster.Run(cfg)
+	if cerr := trc.Close(); cerr != nil && err == nil {
+		err = fmt.Errorf("finalizing trace: %w", cerr)
+	}
+	if err != nil {
+		return err
+	}
+
+	if p.format == "json" {
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(res.Summary)
+	}
+	writeFleetText(out, res, p.verbose)
+	return nil
+}
+
+// writeFleetText renders the fleet summary: header, per-tenant serving
+// table, per-machine utilization table, optional per-epoch detail.
+func writeFleetText(out io.Writer, res *cluster.Result, verbose bool) {
+	s := res.Summary
+	fmt.Fprintf(out, "fleet policy=%s routing=%s machines=%d slots=%d\n",
+		s.Policy, s.Routing, s.Machines, s.Slots)
+	fmt.Fprintf(out, "  makespan   %v\n", sim.Time(s.MakespanNs))
+	fmt.Fprintf(out, "  requests   %d submitted, %d completed\n", s.Requests, s.Completed)
+	if inj := s.Injection; inj != nil {
+		fmt.Fprintf(out, "  injected   tail=%d stall=%d dma=%d (retries %d)\n",
+			inj.TailSpikes, inj.ChannelStalls, inj.DMAFailures, inj.DMARetries)
+	}
+
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  tenant\tbench\treq\tp50-lat\tp99-lat\tp50-syncwait\tp99-syncwait\tslo\tattained")
+	for _, t := range s.Tenants {
+		fmt.Fprintf(w, "  %s\t%s\t%d\t%v\t%v\t%v\t%v\t%s\t%s\n",
+			t.Name, t.Bench, t.Completed,
+			sim.Time(t.Latency.P50Ns), sim.Time(t.Latency.P99Ns),
+			sim.Time(t.SyncWait.P50Ns), sim.Time(t.SyncWait.P99Ns),
+			sloString(t), attainString(t))
+	}
+	w.Flush()
+
+	w = tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "  machine\tepochs\treq\tbusy\tidle\twaiting\tstolen\tmajflt\tdemoted")
+	for _, m := range s.PerMachine {
+		fmt.Fprintf(w, "  %d\t%d\t%d\t%v\t%v\t%v\t%v\t%d\t%d\n",
+			m.ID, m.Epochs, m.Requests, sim.Time(m.BusyNs), sim.Time(m.IdleNs),
+			sim.Time(m.WaitingNs), sim.Time(m.StolenNs), m.MajorFaults, m.DemotedWaits)
+	}
+	w.Flush()
+
+	if verbose {
+		w = tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "  epoch\tprocs\tmakespan\tidle\tstolen\tmajflt")
+		for _, run := range res.Epochs {
+			fmt.Fprintf(w, "  %s\t%d\t%v\t%v\t%v\t%d\n",
+				run.Batch, len(run.Procs), run.Makespan, run.TotalIdle(),
+				run.TotalStolen(), run.TotalMajorFaults())
+		}
+		w.Flush()
+	}
+}
+
+// sloString renders the tenant's objective, "-" when none was set.
+func sloString(t metrics.TenantStats) string {
+	if t.SLONs <= 0 {
+		return "-"
+	}
+	return sim.Time(t.SLONs).String()
+}
+
+// attainString renders SLO attainment, "-" when no SLO was set.
+func attainString(t metrics.TenantStats) string {
+	if t.SLONs <= 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", 100*t.SLOAttainment)
+}

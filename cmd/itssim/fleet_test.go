@@ -1,0 +1,107 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"itsim/internal/metrics"
+)
+
+const testTenants = "name=alpha,bench=caffe,req=3,prio=3,rate=2e5,slo=50ms;" +
+	"name=beta,bench=pagerank,req=2,prio=1,rate=1e5"
+
+func fleetArgs(extra ...string) []string {
+	args := []string{
+		"-machines", "2", "-slots", "2", "-scale", "0.5",
+		"-tenants", testTenants,
+	}
+	return append(args, extra...)
+}
+
+func TestFleetMainText(t *testing.T) {
+	var out bytes.Buffer
+	if code := fleetMain(fleetArgs(), &out); code != 0 {
+		t.Fatalf("exit code %d, output:\n%s", code, out.String())
+	}
+	text := out.String()
+	for _, want := range []string{
+		"fleet policy=ITS routing=round-robin machines=2 slots=2",
+		"5 submitted, 5 completed",
+		"alpha", "beta", "p99-lat", "50.000ms",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text output missing %q:\n%s", want, text)
+		}
+	}
+	// beta has no SLO: its attainment column must render as "-".
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, "beta") && !strings.HasSuffix(strings.TrimRight(line, " "), "-") {
+			t.Errorf("beta row should end with '-' SLO columns: %q", line)
+		}
+	}
+}
+
+func TestFleetMainJSON(t *testing.T) {
+	var out bytes.Buffer
+	if code := fleetMain(fleetArgs("-format", "json", "-routing", "least-loaded"), &out); code != 0 {
+		t.Fatalf("exit code %d, output:\n%s", code, out.String())
+	}
+	var s metrics.FleetSummary
+	if err := json.Unmarshal(out.Bytes(), &s); err != nil {
+		t.Fatalf("json output did not parse: %v\n%s", err, out.String())
+	}
+	if s.Routing != "least-loaded" || s.Machines != 2 {
+		t.Errorf("summary header wrong: %+v", s)
+	}
+	if s.Completed != 5 || len(s.Tenants) != 2 {
+		t.Errorf("expected 5 completions over 2 tenants, got %+v", s)
+	}
+	for _, ten := range s.Tenants {
+		if ten.Latency.Count != ten.Completed {
+			t.Errorf("tenant %s: latency count %d != completed %d", ten.Name, ten.Latency.Count, ten.Completed)
+		}
+	}
+}
+
+// TestFleetMainDeterministic pins the CLI end to end: identical seeded
+// invocations must produce byte-identical JSON, the property the CI
+// fleet-determinism job asserts with cmp.
+func TestFleetMainDeterministic(t *testing.T) {
+	args := fleetArgs("-format", "json", "-seed", "11",
+		"-faults", "seed=42,tailp=0.05,tailx=4,stallp=0.01,dmap=0.02")
+	var a, b bytes.Buffer
+	if code := fleetMain(args, &a); code != 0 {
+		t.Fatalf("first run exit %d:\n%s", code, a.String())
+	}
+	if code := fleetMain(args, &b); code != 0 {
+		t.Fatalf("second run exit %d:\n%s", code, b.String())
+	}
+	if a.String() != b.String() {
+		t.Errorf("same-seed fleet runs diverged:\n%s\n---\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "fault_injection") {
+		t.Errorf("faulty run reported no injection stats:\n%s", a.String())
+	}
+}
+
+func TestFleetMainBadInput(t *testing.T) {
+	cases := map[string][]string{
+		"unknown flag":    {"-no-such-flag"},
+		"positional args": fleetArgs("trailing"),
+		"bad tenants":     {"-tenants", "bench=nope"},
+		"bad routing":     fleetArgs("-routing", "magic"),
+		"bad format":      fleetArgs("-format", "xml"),
+		"bad policy":      fleetArgs("-policy", "Nope"),
+		"bad machines":    fleetArgs("-machines", "0"),
+		"bad throttle":    fleetArgs("-prefetch-throttle", "1.5"),
+		"bad faults":      fleetArgs("-faults", "tailp=oops"),
+	}
+	for name, args := range cases {
+		var out bytes.Buffer
+		if code := fleetMain(args, &out); code == 0 {
+			t.Errorf("%s: expected nonzero exit, output:\n%s", name, out.String())
+		}
+	}
+}

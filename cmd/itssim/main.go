@@ -7,6 +7,7 @@
 //	itssim -policy ITS -format json
 //	itssim -policy ITS -cores 4
 //	itssim -policy ITS -trace-out trace.json -trace-format chrome
+//	itssim fleet -machines 4 -routing least-loaded -tenants 'bench=caffe,req=8'
 //	itssim observe attribute trace.jsonl
 //	itssim observe diff a.jsonl b.jsonl
 //	itssim observe timeline -bucket 1ms trace.jsonl
@@ -67,6 +68,9 @@ type params struct {
 func main() {
 	if len(os.Args) > 1 && os.Args[1] == "observe" {
 		os.Exit(observeMain(os.Args[2:], os.Stdout))
+	}
+	if len(os.Args) > 1 && os.Args[1] == "fleet" {
+		os.Exit(fleetMain(os.Args[2:], os.Stdout))
 	}
 	var p params
 	flag.StringVar(&p.batch, "batch", "2_Data_Intensive", "process batch name")

@@ -45,6 +45,7 @@ const (
 	obsPkg     = "itsim/internal/obs"
 	metricsPkg = "itsim/internal/metrics"
 	replayPkg  = "itsim/internal/replay"
+	clusterPkg = "itsim/internal/cluster"
 )
 
 // summaryBaseline freezes the seed-era field sets of the JSON-serialized
@@ -64,6 +65,15 @@ var summaryBaseline = map[string]map[string]bool{
 	"Core": set("ID", "LocalClock", "CPUTime", "SchedulerIdle", "ContextSwitchTime",
 		"StolenPrefetch", "StolenPreexec", "Dispatches", "Steals", "MigratedAway"),
 	"InjectionStats": set("TailSpikes", "ChannelStalls", "DMAFailures", "DMARetries"),
+	// Fleet-era structs (internal/cluster), frozen at introduction: the
+	// `itssim fleet` JSON document and the CI fleet-determinism job diff
+	// against this layout.
+	"FleetSummary": set("Policy", "Routing", "Machines", "Slots", "MakespanNs",
+		"Requests", "Completed", "Tenants", "PerMachine", "Injection"),
+	"TenantStats": set("Name", "Bench", "Requests", "Completed", "SLONs",
+		"SLOAttainment", "Latency", "SyncWait"),
+	"MachineStats": set("ID", "Epochs", "Requests", "BusyNs", "IdleNs",
+		"WaitingNs", "StolenNs", "MajorFaults", "DemotedWaits"),
 }
 
 func set(names ...string) map[string]bool {
@@ -81,7 +91,9 @@ func run(pass *analysis.Pass) (any, error) {
 	case metricsPkg:
 		checkSummaries(pass)
 	case replayPkg:
-		checkReplay(pass)
+		checkConsumer(pass, "replay")
+	case clusterPkg:
+		checkConsumer(pass, "cluster")
 	}
 	return nil, nil
 }
@@ -109,12 +121,13 @@ func checkSinks(pass *analysis.Pass) {
 	al.Flush("eventsink")
 }
 
-// checkReplay enforces sink-style exhaustiveness on the replay package: any
-// switch over the obs event type, in any function, must cover every kind or
-// carry an explicit default. Unlike a sink, the replay engines consume the
-// stream long after it was recorded — a silently-dropped kind here is a
-// wrong attribution, not just a thinner trace.
-func checkReplay(pass *analysis.Pass) {
+// checkConsumer enforces sink-style exhaustiveness on a stream-consuming
+// package (replay, cluster): any switch over the obs event type, in any
+// function, must cover every kind or carry an explicit default. Unlike a
+// sink, these packages consume the stream long after it was recorded — a
+// silently-dropped kind here is a wrong attribution, not just a thinner
+// trace. The noun labels diagnostics with the consuming package.
+func checkConsumer(pass *analysis.Pass, noun string) {
 	al := itslint.Scan(pass)
 	var obs *types.Package
 	for _, imp := range pass.Pkg.Imports() {
@@ -139,7 +152,7 @@ func checkReplay(pass *analysis.Pass) {
 			if !ok {
 				continue
 			}
-			checkEventSwitches(pass, al, fd, kinds, "replay")
+			checkEventSwitches(pass, al, fd, kinds, noun)
 		}
 	}
 	al.Flush("eventsink")

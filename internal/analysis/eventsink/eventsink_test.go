@@ -11,9 +11,11 @@ import (
 // Write switches must handle every event kind or default explicitly
 // (itsim/internal/obs fixture), summary struct fields outside the frozen
 // seed baseline must carry omitempty or json:"-" (itsim/internal/metrics
-// fixture), and replay event switches — in any function — must be
-// exhaustive or explicitly defaulted (itsim/internal/replay fixture).
+// fixture), and stream-consumer event switches — in any function — must be
+// exhaustive or explicitly defaulted (itsim/internal/replay and
+// itsim/internal/cluster fixtures).
 func TestEventsink(t *testing.T) {
 	atest.Run(t, "../testdata", eventsink.Analyzer,
-		"itsim/internal/obs", "itsim/internal/metrics", "itsim/internal/replay")
+		"itsim/internal/obs", "itsim/internal/metrics", "itsim/internal/replay",
+		"itsim/internal/cluster")
 }

@@ -40,6 +40,8 @@ var deterministicPkgs = map[string]bool{
 	"itsim/internal/obs":      true,
 	"itsim/internal/metrics":  true,
 	"itsim/internal/replay":   true,
+	"itsim/internal/workload": true,
+	"itsim/internal/cluster":  true,
 }
 
 // Deterministic reports whether the import path belongs to the simulator's

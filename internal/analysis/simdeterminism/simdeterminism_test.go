@@ -11,9 +11,11 @@ import (
 // TestDeterministicPackage checks both polarities inside the deterministic
 // set: wall clocks, global rand, env reads and map ranges are flagged;
 // seeded draws and justified //itslint:allow suppressions are not, and a
-// directive two lines away does not suppress.
+// directive two lines away does not suppress. The workload fixture covers
+// the arrival-generator package that joined the set with the fleet model.
 func TestDeterministicPackage(t *testing.T) {
-	atest.Run(t, "../testdata", simdeterminism.Analyzer, "itsim/internal/kernel")
+	atest.Run(t, "../testdata", simdeterminism.Analyzer,
+		"itsim/internal/kernel", "itsim/internal/workload")
 }
 
 // TestNonDeterministicPackage checks that outside the deterministic set the

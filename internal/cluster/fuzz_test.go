@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseTenantSpec asserts the tenant-spec parser's contract on
+// arbitrary input: it never panics, and anything it accepts re-validates
+// cleanly and carries unique, delimiter-free tenant names — the
+// invariants Config.Validate and the coordinator rely on.
+func FuzzParseTenantSpec(f *testing.F) {
+	f.Add("")
+	f.Add("bench=caffe")
+	f.Add("name=web,bench=pagerank,rate=5000,requests=12,prio=5,scale=0.05,pattern=diurnal,period=4ms,amp=0.7,slo=2ms,seed=99")
+	f.Add("bench=caffe,req=3;bench=wrf,req=2,prio=4")
+	f.Add("rate=-1,amp=2,requests=0")
+	f.Add("name=a;name=a")
+	f.Add("seed=0xдеадбиф,period=∞")
+	f.Fuzz(func(t *testing.T, spec string) {
+		tenants, err := ParseTenantSpec(spec)
+		if err != nil {
+			return
+		}
+		if len(tenants) == 0 {
+			t.Fatalf("ParseTenantSpec(%q) returned no tenants and no error", spec)
+		}
+		if len(tenants) > MaxTenants {
+			t.Fatalf("ParseTenantSpec(%q) returned %d tenants, cap is %d", spec, len(tenants), MaxTenants)
+		}
+		seen := make(map[string]bool, len(tenants))
+		for _, tn := range tenants {
+			if err := tn.Validate(); err != nil {
+				t.Fatalf("ParseTenantSpec(%q) accepted tenant that fails Validate: %v", spec, err)
+			}
+			if strings.ContainsAny(tn.Name, ",;=") {
+				t.Fatalf("ParseTenantSpec(%q) accepted delimiter in name %q", spec, tn.Name)
+			}
+			if seen[tn.Name] {
+				t.Fatalf("ParseTenantSpec(%q) accepted duplicate name %q", spec, tn.Name)
+			}
+			seen[tn.Name] = true
+		}
+	})
+}

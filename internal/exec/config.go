@@ -248,6 +248,10 @@ func (c Config) Validate() error {
 type ProcessSpec struct {
 	// Name labels the process (benchmark name).
 	Name string
+	// Tenant names the serving tenant this process's request belongs to
+	// on fleet runs (internal/cluster); empty elsewhere. Carried through
+	// to metrics.Process.Tenant so fleet traces attribute per tenant.
+	Tenant string
 	// Gen supplies the trace.
 	Gen trace.Generator
 	// Priority is the scheduling priority (larger = higher).

@@ -182,6 +182,7 @@ func NewShared(cfg Config, pols []policy.Policy, batchName string, specs []Proce
 	for pid, sp := range specs {
 		sp.Gen.Reset()
 		p := &Proc{PID: pid, Spec: sp, Met: s.Run.AddProcess(pid, sp.Name, sp.Priority), Owner: pid % n}
+		p.Met.Tenant = sp.Tenant
 		s.Procs = append(s.Procs, p)
 		s.Krn.AddProcess(pid, sp.Name, sp.Priority)
 		s.Krn.MapRegion(pid, sp.BaseVA, sp.Gen.FootprintBytes())

@@ -1,0 +1,78 @@
+package metrics
+
+// Fleet-level summaries (internal/cluster). These are new serialized
+// structs, frozen in the eventsink lint's summaryBaseline like the
+// single-machine Summary: growing them later means omitempty or a
+// deliberate baseline extension.
+
+// TenantStats digests one tenant's serving experience over a fleet run.
+type TenantStats struct {
+	// Name is the tenant's name from the tenant spec.
+	Name string `json:"name"`
+	// Bench is the benchmark each of the tenant's requests executes.
+	Bench string `json:"bench"`
+	// Requests is the number of requests the tenant submitted; Completed
+	// the number that finished (equal on a successful run).
+	Requests  uint64 `json:"requests"`
+	Completed uint64 `json:"completed"`
+	// SLONs is the tenant's latency objective in nanoseconds; 0 means no
+	// SLO was set and SLOAttainment is meaningless (renderers print "-").
+	SLONs int64 `json:"slo_ns"`
+	// SLOAttainment is the fraction of completed requests whose
+	// end-to-end latency met SLONs.
+	SLOAttainment float64 `json:"slo_attainment"`
+	// Latency is the end-to-end request latency distribution
+	// (arrival → completion, including queueing).
+	Latency HistogramSnapshot `json:"latency"`
+	// SyncWait is the distribution of per-request synchronous storage
+	// busy-wait (the paper's stolen-or-wasted window), summed per request.
+	SyncWait HistogramSnapshot `json:"sync_wait"`
+}
+
+// MachineStats digests one machine's activity over a fleet run.
+type MachineStats struct {
+	// ID is the machine's index in the cluster.
+	ID int `json:"id"`
+	// Epochs is how many batch epochs the machine executed; Requests how
+	// many requests those epochs served.
+	Epochs   uint64 `json:"epochs"`
+	Requests uint64 `json:"requests"`
+	// BusyNs is fleet time the machine spent executing epochs; IdleNs is
+	// the rest of the fleet makespan.
+	BusyNs int64 `json:"busy_ns"`
+	IdleNs int64 `json:"idle_ns"`
+	// WaitingNs aggregates the machine's in-epoch CPU waiting time (the
+	// paper's Fig 4a quantity, summed over epochs); StolenNs the time its
+	// ITS machinery converted into useful work.
+	WaitingNs int64 `json:"waiting_ns"`
+	StolenNs  int64 `json:"stolen_ns"`
+	// MajorFaults sums major page faults across the machine's epochs.
+	MajorFaults uint64 `json:"major_faults"`
+	// DemotedWaits counts spin-budget demotions under fault injection;
+	// omitted when zero so healthy-device summaries stay compact.
+	DemotedWaits uint64 `json:"demoted_waits,omitempty"`
+}
+
+// FleetSummary is the JSON-serializable digest of one cluster run.
+type FleetSummary struct {
+	// Policy and Routing name the I/O-mode policy every machine ran and
+	// the routing policy that placed requests.
+	Policy  string `json:"policy"`
+	Routing string `json:"routing"`
+	// Machines and Slots echo the cluster shape (N machines, at most
+	// Slots requests batched per epoch).
+	Machines int `json:"machines"`
+	Slots    int `json:"slots"`
+	// MakespanNs is the fleet time at which the last request completed.
+	MakespanNs int64 `json:"makespan_ns"`
+	// Requests / Completed count over all tenants.
+	Requests  uint64 `json:"requests"`
+	Completed uint64 `json:"completed"`
+	// Tenants holds per-tenant serving stats in tenant-spec order.
+	Tenants []TenantStats `json:"tenants"`
+	// PerMachine holds per-machine stats ascending by machine id.
+	PerMachine []MachineStats `json:"per_machine"`
+	// Injection aggregates fault-injector activity across machines; nil
+	// (and omitted) when no injector was attached.
+	Injection *InjectionStats `json:"fault_injection,omitempty"`
+}

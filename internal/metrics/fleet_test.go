@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"itsim/internal/sim"
+)
+
+// TestProcessTenantOmittedWhenEmpty pins the historical single-machine
+// byte layout: a Process outside a fleet run (empty Tenant) must marshal
+// without any Tenant key, so seed-era summary baselines stay byte-exact.
+func TestProcessTenantOmittedWhenEmpty(t *testing.T) {
+	p := Process{PID: 1, Name: "caffe", Priority: 2}
+	b, err := json.Marshal(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(b), "Tenant") {
+		t.Errorf("empty Tenant leaked into process JSON: %s", b)
+	}
+	p.Tenant = "alpha"
+	b, err = json.Marshal(&p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(b), `"Tenant":"alpha"`) {
+		t.Errorf("non-empty Tenant missing from process JSON: %s", b)
+	}
+}
+
+// TestSummaryLayoutFrozen re-checks the full-run layout through the same
+// lens: a run with no fleet/fault involvement must not mention any of the
+// new optional keys.
+func TestSummaryLayoutFrozen(t *testing.T) {
+	r := NewRun("Sync", "batch")
+	r.AddProcess(0, "caffe", 1)
+	b, err := json.Marshal(r.Summary())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"Tenant", "Injection", "Demotions", "PrefetchThrottled"} {
+		if strings.Contains(string(b), key) {
+			t.Errorf("unused optional key %q leaked into summary JSON: %s", key, b)
+		}
+	}
+}
+
+// TestFleetSummaryRoundTrip checks the fleet digest survives a JSON round
+// trip unchanged — the property the CI fleet-determinism job's byte
+// comparison builds on.
+func TestFleetSummaryRoundTrip(t *testing.T) {
+	lat := NewWideLatencyHistogram()
+	lat.Observe(3 * sim.Microsecond)
+	lat.Observe(40 * sim.Millisecond)
+	in := FleetSummary{
+		Policy: "ITS", Routing: "least-loaded", Machines: 3, Slots: 4,
+		MakespanNs: 123456, Requests: 7, Completed: 7,
+		Tenants: []TenantStats{{
+			Name: "alpha", Bench: "caffe", Requests: 7, Completed: 7,
+			SLONs: 1000, SLOAttainment: 0.5,
+			Latency: lat.Snapshot(), SyncWait: NewWideLatencyHistogram().Snapshot(),
+		}},
+		PerMachine: []MachineStats{{ID: 0, Epochs: 2, Requests: 7, BusyNs: 99, IdleNs: 1}},
+	}
+	b1, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out FleetSummary
+	if err := json.Unmarshal(b1, &out); err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Errorf("fleet summary did not round-trip:\n%s\n%s", b1, b2)
+	}
+	if strings.Contains(string(b1), "fault_injection") {
+		t.Errorf("nil injection stats leaked into fleet JSON: %s", b1)
+	}
+}
+
+// TestWideLatencyHistogramRange checks the fleet histogram covers epoch-
+// scale samples without falling into the overflow bucket.
+func TestWideLatencyHistogramRange(t *testing.T) {
+	h := NewWideLatencyHistogram()
+	h.Observe(1 * sim.Second)
+	if q := h.Quantile(0.99); q > 2*sim.Second {
+		t.Errorf("1s sample quantized to %v, beyond the 2s ceiling", q)
+	}
+	if q := h.Quantile(0.99); q < 1*sim.Second {
+		t.Errorf("1s sample quantized down to %v", q)
+	}
+}

@@ -30,6 +30,18 @@ func NewLatencyHistogram() *Histogram {
 	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
 }
 
+// NewWideLatencyHistogram covers 250 ns … ~2 s in doubling buckets. Fleet
+// request latencies include queueing behind whole machine epochs, so the
+// interesting range runs from the device constants up to full epoch
+// makespans — far past NewLatencyHistogram's 1 ms ceiling.
+func NewWideLatencyHistogram() *Histogram {
+	var bounds []sim.Time
+	for b := 250 * sim.Nanosecond; b <= 2*sim.Second; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(d sim.Time) {
 	if d < 0 {

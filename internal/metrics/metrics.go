@@ -25,6 +25,12 @@ type Process struct {
 	Name     string
 	Priority int
 
+	// Tenant names the serving tenant whose request this process executes
+	// on fleet runs (internal/cluster); empty — and omitted from JSON, so
+	// single-machine summaries keep their historical byte layout — on
+	// every other path.
+	Tenant string `json:"Tenant,omitempty"`
+
 	// FinishTime is the virtual time the process's trace completed.
 	FinishTime sim.Time
 	// Finished reports whether the process ran to completion.

@@ -24,6 +24,11 @@ const (
 	tidPreexec = 903
 	// coreTidStride separates consecutive cores' kernel-track blocks.
 	coreTidStride = 16
+	// tidFleet is the cluster coordinator's track: request arrivals,
+	// routing decisions and completions of a fleet run. Fleet events are
+	// stamped in global fleet time, unlike the per-machine runs around
+	// them, so they get a track of their own.
+	tidFleet = 890
 )
 
 // Chrome serializes events into Chrome trace-event JSON
@@ -196,6 +201,15 @@ func (c *Chrome) Write(ev Event) {
 	case EvPrefetchThrottle:
 		c.instant(ev, c.ktrack(ev, tidPrefetch, "its-prefetch"), "prefetch-throttle",
 			map[string]any{"pid": ev.PID, "busy_channels": ev.Value})
+	case EvRequestArrive:
+		c.instant(ev, c.thread(tidFleet, "fleet:requests"), "request-arrive",
+			map[string]any{"req": ev.Value, "tenant": ev.Cause})
+	case EvRequestRoute:
+		c.instant(ev, c.thread(tidFleet, "fleet:requests"), "request-route",
+			map[string]any{"req": ev.Value, "tenant": ev.Cause, "machine": ev.Core})
+	case EvRequestDone:
+		c.instant(ev, c.thread(tidFleet, "fleet:requests"), "request-done",
+			map[string]any{"req": ev.Value, "tenant": ev.Cause, "machine": ev.Core, "latency_ns": int64(ev.Dur)})
 	case EvGauge:
 		c.put(chromeEvent{Name: ev.Cause, Ph: "C", Ts: us(int64(ev.Time)), PID: c.run, TID: 0,
 			Args: map[string]any{"value": ev.Value}})

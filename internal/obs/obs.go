@@ -117,6 +117,17 @@ const (
 	// busy-channel gauge saturated (Value = busy channels at decision
 	// time).
 	EvPrefetchThrottle
+	// EvRequestArrive is a fleet-scope serving request entering the
+	// cluster (Value = request id, Cause = tenant name). Fleet-scope
+	// events carry PID = -1, global fleet time, and live *between* the
+	// per-machine RunBegin/RunEnd frames in a fleet trace.
+	EvRequestArrive
+	// EvRequestRoute is the routing decision for a request (Value =
+	// request id, Core = chosen machine id, Cause = tenant name).
+	EvRequestRoute
+	// EvRequestDone is a request completing (Value = request id, Core =
+	// machine id, Dur = end-to-end latency, Cause = tenant name).
+	EvRequestDone
 
 	// NumTypes is the number of event types (array sizing).
 	NumTypes
@@ -150,6 +161,9 @@ var typeNames = [NumTypes]string{
 	EvIORetry:          "IORetry",
 	EvDemote:           "Demote",
 	EvPrefetchThrottle: "PrefetchThrottle",
+	EvRequestArrive:    "RequestArrive",
+	EvRequestRoute:     "RequestRoute",
+	EvRequestDone:      "RequestDone",
 }
 
 // String names the type as used in filters and JSONL output.

@@ -168,6 +168,13 @@ func (f *folder) fold(ev obs.Event) error {
 		return nil
 	}
 	if f.run == nil {
+		if fleetScope(ev.Type) {
+			// Cluster-coordinator events (request arrivals, routing,
+			// completions) are stamped in global fleet time and live
+			// between the per-machine runs of a fleet trace; they carry
+			// no per-core occupancy, so attribution skips them.
+			return nil
+		}
 		return fmt.Errorf("%s event outside any run (after RunEnd or before RunBegin)", ev.Type)
 	}
 	f.run.Events++
@@ -262,12 +269,25 @@ func (f *folder) fold(ev obs.Event) error {
 		}
 	case obs.EvMajorFaultBegin, obs.EvUnblock, obs.EvSliceExpiry, obs.EvPrefetchIssue,
 		obs.EvPrefetchDrop, obs.EvPrefetchHit, obs.EvSwapIn, obs.EvEvict, obs.EvWriteBack,
-		obs.EvGauge, obs.EvFaultInject, obs.EvIORetry, obs.EvDemote, obs.EvPrefetchThrottle:
+		obs.EvGauge, obs.EvFaultInject, obs.EvIORetry, obs.EvDemote, obs.EvPrefetchThrottle,
+		obs.EvRequestArrive, obs.EvRequestRoute, obs.EvRequestDone:
 		// Count-only: no CPU-time accounting rides on these.
 	case obs.EvRunBegin, obs.EvRunEnd:
 		// Handled above; listed to keep the switch exhaustive.
 	}
 	return nil
+}
+
+// fleetScope reports whether t is a cluster-coordinator event kind that a
+// fleet trace legitimately carries outside the per-machine RunBegin/RunEnd
+// frames (see internal/cluster).
+func fleetScope(t obs.Type) bool {
+	switch t {
+	case obs.EvRequestArrive, obs.EvRequestRoute, obs.EvRequestDone:
+		return true
+	default:
+		return false
+	}
 }
 
 // finish closes the current run at its EvRunEnd.

@@ -71,6 +71,9 @@ func BuildTimeline(r *Reader, width sim.Time) (*Timeline, error) {
 			continue
 		}
 		if run == nil {
+			if fleetScope(ev.Type) {
+				continue // cluster-coordinator events live between runs
+			}
 			return nil, fmt.Errorf("replay: line %d: %s event outside any run", r.Line(), ev.Type)
 		}
 		if ev.Type == obs.EvRunEnd {

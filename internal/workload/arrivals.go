@@ -1,0 +1,179 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"itsim/internal/prng"
+	"itsim/internal/sim"
+)
+
+// Open-loop request arrival generation for the fleet-scale serving
+// simulation (internal/cluster). Arrivals are a nonhomogeneous Poisson
+// process: a base rate shaped by a deterministic time-of-day envelope
+// (ServeGen-style diurnal, bursty and multi-period patterns), sampled by
+// Lewis–Shedler thinning from a seeded PRNG. Open-loop means arrival times
+// never depend on service progress — the generator models millions of
+// independent users, not a closed feedback loop.
+
+// ArrivalPattern selects the rate envelope shaping a tenant's arrivals.
+type ArrivalPattern uint8
+
+// Arrival patterns.
+const (
+	// Steady is a constant-rate Poisson process.
+	Steady ArrivalPattern = iota
+	// Diurnal modulates the rate sinusoidally over one period — the
+	// classic day/night serving curve.
+	Diurnal
+	// Bursty alternates half-periods of (1+Amp)× and (1−Amp)× the base
+	// rate — on/off burst trains.
+	Bursty
+	// MultiPeriod superimposes a second, 3×-faster harmonic at half the
+	// amplitude on the diurnal curve — weekly-over-daily style structure.
+	MultiPeriod
+)
+
+// String names the pattern as used in tenant specs.
+func (p ArrivalPattern) String() string {
+	switch p {
+	case Diurnal:
+		return "diurnal"
+	case Bursty:
+		return "bursty"
+	case MultiPeriod:
+		return "multiperiod"
+	default:
+		return "steady"
+	}
+}
+
+// ParsePattern resolves a pattern name (case-insensitive).
+func ParsePattern(name string) (ArrivalPattern, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "", "steady":
+		return Steady, nil
+	case "diurnal":
+		return Diurnal, nil
+	case "bursty":
+		return Bursty, nil
+	case "multiperiod", "multi-period":
+		return MultiPeriod, nil
+	}
+	return Steady, fmt.Errorf("workload: unknown arrival pattern %q (want steady, diurnal, bursty or multiperiod)", name)
+}
+
+// envelopeFloor keeps every envelope strictly positive so thinning always
+// terminates and no tenant's traffic ever fully stops.
+const envelopeFloor = 0.05
+
+// ArrivalConfig parameterizes one tenant's arrival process.
+type ArrivalConfig struct {
+	// Rate is the base arrival rate in requests per virtual second.
+	// Rate <= 0 degenerates to a closed burst: every arrival at t = 0
+	// (the single-machine batch semantics, and the fleet⇔smp equivalence
+	// anchor).
+	Rate float64
+	// Pattern shapes the rate over time.
+	Pattern ArrivalPattern
+	// Period is the envelope period; ignored by Steady.
+	Period sim.Time
+	// Amp is the modulation amplitude in [0, 1]; ignored by Steady.
+	Amp float64
+	// Seed drives the thinning draws.
+	Seed uint64
+}
+
+// Arrivals generates one tenant's arrival times, strictly non-decreasing.
+type Arrivals struct {
+	cfg ArrivalConfig
+	rng *prng.Source
+	// now is the current virtual time in float64 nanoseconds — float so
+	// the exponential gaps keep sub-nanosecond phase (truncating each gap
+	// separately would bias the realized rate upward).
+	now float64
+}
+
+// NewArrivals builds a generator. Invalid amplitude/period values are
+// clamped (user input is validated upstream by the tenant-spec parser).
+func NewArrivals(cfg ArrivalConfig) *Arrivals {
+	if cfg.Amp < 0 {
+		cfg.Amp = 0
+	}
+	if cfg.Amp > 1 {
+		cfg.Amp = 1
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = sim.Millisecond
+	}
+	return &Arrivals{cfg: cfg, rng: prng.New(cfg.Seed)}
+}
+
+// envelope returns the rate multiplier at virtual time tNs.
+func (a *Arrivals) envelope(tNs float64) float64 {
+	c := &a.cfg
+	period := float64(c.Period)
+	var e float64
+	switch c.Pattern {
+	case Diurnal:
+		e = 1 + c.Amp*math.Sin(2*math.Pi*tNs/period)
+	case Bursty:
+		phase := math.Mod(tNs, period) / period
+		if phase < 0.5 {
+			e = 1 + c.Amp
+		} else {
+			e = 1 - c.Amp
+		}
+	case MultiPeriod:
+		e = 1 + c.Amp*math.Sin(2*math.Pi*tNs/period) + (c.Amp/2)*math.Sin(2*math.Pi*3*tNs/period)
+	default:
+		e = 1
+	}
+	if e < envelopeFloor {
+		e = envelopeFloor
+	}
+	return e
+}
+
+// peak is the envelope's maximum multiplier — the thinning majorant.
+func (a *Arrivals) peak() float64 {
+	switch a.cfg.Pattern {
+	case Diurnal, Bursty:
+		return 1 + a.cfg.Amp
+	case MultiPeriod:
+		return 1 + 1.5*a.cfg.Amp
+	default:
+		return 1
+	}
+}
+
+// maxThinningRejects bounds the thinning loop against numerical corner
+// cases; with the envelope floored at envelopeFloor the acceptance
+// probability is at least floor/peak ≈ 2 %, so the bound is never reached
+// in practice.
+const maxThinningRejects = 100_000
+
+// Next returns the next arrival time. Successive calls are
+// non-decreasing. With Rate <= 0 every call returns 0.
+func (a *Arrivals) Next() sim.Time {
+	c := &a.cfg
+	if c.Rate <= 0 {
+		return 0
+	}
+	// Lewis–Shedler thinning against the constant majorant rate
+	// Rate·peak: draw homogeneous-Poisson candidates at the majorant and
+	// accept each with probability envelope(t)/peak.
+	peak := a.peak()
+	lambdaMaxPerNs := c.Rate * peak / 1e9
+	for i := 0; i < maxThinningRejects; i++ {
+		u := a.rng.Float64()
+		// Exponential gap at the majorant rate; 1-u keeps the argument
+		// of Log strictly positive.
+		a.now += -math.Log(1-u) / lambdaMaxPerNs
+		if a.rng.Float64()*peak <= a.envelope(a.now) {
+			break
+		}
+	}
+	return sim.Time(a.now)
+}

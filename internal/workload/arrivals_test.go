@@ -1,0 +1,151 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"itsim/internal/sim"
+)
+
+func TestParsePattern(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    ArrivalPattern
+		wantErr bool
+	}{
+		{"steady", Steady, false},
+		{"", Steady, false},
+		{"  Diurnal ", Diurnal, false},
+		{"BURSTY", Bursty, false},
+		{"multiperiod", MultiPeriod, false},
+		{"multi-period", MultiPeriod, false},
+		{"sawtooth", Steady, true},
+	}
+	for _, c := range cases {
+		got, err := ParsePattern(c.in)
+		if (err != nil) != c.wantErr {
+			t.Errorf("ParsePattern(%q) err = %v, wantErr %v", c.in, err, c.wantErr)
+			continue
+		}
+		if err == nil && got != c.want {
+			t.Errorf("ParsePattern(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestPatternStringRoundTrip(t *testing.T) {
+	for _, p := range []ArrivalPattern{Steady, Diurnal, Bursty, MultiPeriod} {
+		back, err := ParsePattern(p.String())
+		if err != nil || back != p {
+			t.Errorf("ParsePattern(%v.String()) = %v, %v", p, back, err)
+		}
+	}
+}
+
+func TestArrivalsZeroRate(t *testing.T) {
+	a := NewArrivals(ArrivalConfig{Rate: 0, Seed: 1})
+	for i := 0; i < 5; i++ {
+		if got := a.Next(); got != 0 {
+			t.Fatalf("zero-rate arrival %d at %v, want 0", i, got)
+		}
+	}
+}
+
+func TestArrivalsMonotonic(t *testing.T) {
+	for _, p := range []ArrivalPattern{Steady, Diurnal, Bursty, MultiPeriod} {
+		a := NewArrivals(ArrivalConfig{
+			Rate: 50_000, Pattern: p, Period: 2 * sim.Millisecond, Amp: 0.8, Seed: 42,
+		})
+		var prev sim.Time
+		for i := 0; i < 1000; i++ {
+			got := a.Next()
+			if got < prev {
+				t.Fatalf("%v: arrival %d at %v before previous %v", p, i, got, prev)
+			}
+			prev = got
+		}
+	}
+}
+
+func TestArrivalsDeterministic(t *testing.T) {
+	mk := func() []sim.Time {
+		a := NewArrivals(ArrivalConfig{
+			Rate: 100_000, Pattern: Diurnal, Period: sim.Millisecond, Amp: 0.5, Seed: 7,
+		})
+		out := make([]sim.Time, 200)
+		for i := range out {
+			out[i] = a.Next()
+		}
+		return out
+	}
+	x, y := mk(), mk()
+	for i := range x {
+		if x[i] != y[i] {
+			t.Fatalf("arrival %d differs across identical generators: %v vs %v", i, x[i], y[i])
+		}
+	}
+	a := NewArrivals(ArrivalConfig{
+		Rate: 100_000, Pattern: Diurnal, Period: sim.Millisecond, Amp: 0.5, Seed: 8,
+	})
+	diff := false
+	for i := range x {
+		if a.Next() != x[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced an identical arrival sequence")
+	}
+}
+
+// TestArrivalsRate checks the realized steady rate against the configured
+// one: n arrivals at rate λ should land near n/λ seconds.
+func TestArrivalsRate(t *testing.T) {
+	const rate = 1e6 // 1 req/µs
+	const n = 20000
+	a := NewArrivals(ArrivalConfig{Rate: rate, Seed: 3})
+	var last sim.Time
+	for i := 0; i < n; i++ {
+		last = a.Next()
+	}
+	want := float64(n) / rate * 1e9 // ns
+	got := float64(last)
+	if math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("steady arrivals: %d-th at %.0f ns, want ≈ %.0f ns (±5%%)", n, got, want)
+	}
+}
+
+// TestArrivalsDiurnalShape checks that diurnal modulation concentrates
+// arrivals in the envelope's high half-period.
+func TestArrivalsDiurnalShape(t *testing.T) {
+	period := 2 * sim.Millisecond
+	a := NewArrivals(ArrivalConfig{
+		Rate: 2e6, Pattern: Diurnal, Period: period, Amp: 0.9, Seed: 11,
+	})
+	var high, low int
+	for i := 0; i < 20000; i++ {
+		at := a.Next()
+		if at%period < period/2 {
+			high++ // sin > 0: first half-period
+		} else {
+			low++
+		}
+	}
+	if high <= low {
+		t.Fatalf("diurnal arrivals not concentrated in peak half: high=%d low=%d", high, low)
+	}
+}
+
+func TestArrivalsClamping(t *testing.T) {
+	a := NewArrivals(ArrivalConfig{Rate: 1e6, Pattern: Bursty, Amp: 5, Period: -1, Seed: 1})
+	if a.cfg.Amp != 1 {
+		t.Errorf("Amp clamp: got %v, want 1", a.cfg.Amp)
+	}
+	if a.cfg.Period != sim.Millisecond {
+		t.Errorf("Period default: got %v, want %v", a.cfg.Period, sim.Millisecond)
+	}
+	if got := a.Next(); got <= 0 {
+		t.Errorf("clamped generator produced non-positive arrival %v", got)
+	}
+}
