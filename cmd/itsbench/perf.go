@@ -25,6 +25,12 @@ type PerfPoint struct {
 	MakespanNs    int64   `json:"makespan_ns"`
 	WallNs        int64   `json:"wall_ns"`
 	RecordsPerSec float64 `json:"records_per_sec"`
+	// RecordsPerWallSecPerCore normalizes host throughput by simulated
+	// core count, so multi-core coordinator overhead shows up as a drop
+	// in this column even when aggregate records_per_sec climbs (the
+	// BENCH_1 anomaly was the aggregate itself dropping at 4 cores).
+	// Absent (0) in snapshots taken before the field existed.
+	RecordsPerWallSecPerCore float64 `json:"records_per_wall_sec_per_core,omitempty"`
 }
 
 // perfConfigs is the fixed grid the trajectory tracks: the two policies the
@@ -90,6 +96,7 @@ func perfMain(args []string, out io.Writer) int {
 		}
 		if s := wall.Seconds(); s > 0 {
 			pt.RecordsPerSec = float64(records) / s
+			pt.RecordsPerWallSecPerCore = pt.RecordsPerSec / float64(cfg.cores)
 		}
 		doc.Perf = append(doc.Perf, pt)
 	}
@@ -148,6 +155,12 @@ func diffPerf(oldDoc, newDoc *jsonDoc, tol, perfTol float64) []string {
 		if perfTol >= 0 {
 			report(prefix+"wall_ns", float64(o.WallNs), float64(pt.WallNs), perfTol)
 			report(prefix+"records_per_sec", o.RecordsPerSec, pt.RecordsPerSec, perfTol)
+			// Only compare the per-core column when both snapshots
+			// carry it (BENCH_1 predates the field).
+			if o.RecordsPerWallSecPerCore > 0 && pt.RecordsPerWallSecPerCore > 0 {
+				report(prefix+"records_per_wall_sec_per_core",
+					o.RecordsPerWallSecPerCore, pt.RecordsPerWallSecPerCore, perfTol)
+			}
 		}
 	}
 	for _, pt := range oldDoc.Perf {

@@ -125,16 +125,17 @@ func generate(name string, scale float64, path string) error {
 }
 
 func inspect(path string) error {
-	f, err := os.Open(path)
+	// Stream the trace: -info on a multi-gigabyte file runs in constant
+	// memory.
+	g, err := itsim.OpenTrace(path)
 	if err != nil {
 		return err
 	}
-	defer f.Close()
-	g, err := itsim.ReadTrace(f)
-	if err != nil {
-		return err
-	}
+	defer g.Close()
 	st := itsim.AnalyzeTrace(g)
+	if err := g.Err(); err != nil {
+		return err
+	}
 	fmt.Printf("name            %s\n", st.Name)
 	fmt.Printf("records         %d (%d loads, %d stores)\n", st.Records, st.Loads, st.Stores)
 	fmt.Printf("instructions    %d\n", st.Instrs)

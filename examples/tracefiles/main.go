@@ -46,19 +46,20 @@ func main() {
 		fmt.Printf("wrote %s (%d KiB)\n", paths[i], info.Size()/1024)
 	}
 
-	// 2. Inspect: reload and summarize.
+	// 2. Inspect and stream: open each trace for incremental decoding —
+	// records stream from disk during the run, so the traces are never
+	// materialized in memory.
 	specs := make([]itsim.ProcessSpec, len(paths))
 	for i, path := range paths {
-		f, err := os.Open(path)
+		gen, err := itsim.OpenTrace(path)
 		if err != nil {
 			log.Fatal(err)
 		}
-		gen, err := itsim.ReadTrace(f)
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
-		}
+		defer gen.Close()
 		st := itsim.AnalyzeTrace(gen)
+		if err := gen.Err(); err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%-12s records=%d instrs=%d loads=%d stores=%d pages=%d\n",
 			st.Name, st.Records, st.Instrs, st.Loads, st.Stores, st.UniquePages)
 		specs[i] = itsim.ProcessSpec{

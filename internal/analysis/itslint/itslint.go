@@ -27,6 +27,11 @@ import (
 // branch or map-order iteration in any of them can silently break replay,
 // `itsbench diff`, and the per-core conservation ledger.
 var deterministicPkgs = map[string]bool{
+	// The event core joined the set with the calendar queue: its bucket
+	// walk and free lists are pure slice code today, and a map-range or
+	// wall-clock read slipping in would scramble same-time event order —
+	// the exact invariant every equivalence suite anchors on.
+	"itsim/internal/sim":      true,
 	"itsim/internal/exec":     true,
 	"itsim/internal/smp":      true,
 	"itsim/internal/kernel":   true,

@@ -12,10 +12,13 @@ import (
 // set: wall clocks, global rand, env reads and map ranges are flagged;
 // seeded draws and justified //itslint:allow suppressions are not, and a
 // directive two lines away does not suppress. The workload fixture covers
-// the arrival-generator package that joined the set with the fleet model.
+// the arrival-generator package that joined the set with the fleet model;
+// the sim fixture covers the event core that joined with the calendar
+// queue (a map-range or time.Now there must be flagged, the pure
+// bucket-array walk must not).
 func TestDeterministicPackage(t *testing.T) {
 	atest.Run(t, "../testdata", simdeterminism.Analyzer,
-		"itsim/internal/kernel", "itsim/internal/workload")
+		"itsim/internal/kernel", "itsim/internal/workload", "itsim/internal/sim")
 }
 
 // TestNonDeterministicPackage checks that outside the deterministic set the

@@ -71,18 +71,78 @@ func (s Stats) MissRatio() float64 {
 // Cache is an N-way set-associative cache with true-LRU replacement within
 // each set. It tracks line presence only (no data), which is all the timing
 // model needs.
+//
+// Recency is kept in one of two representations with identical semantics:
+//
+//   - ways <= 16 (every shipped configuration): order[set] packs the set's
+//     way indices into one word, four bits per way, least-significant
+//     nibble most-recent. A hit is a move-to-front on the word, and victim
+//     selection is reading the top nibble — O(1), no per-way recency scan
+//     and no second array walked alongside the tags. Invalid ways are kept
+//     at the stale end, so the top nibble is an invalid way whenever one
+//     exists and the true-LRU way otherwise. Which invalid way receives an
+//     install is unobservable (the resulting line set, recency order,
+//     statistics and future evictions are identical either way), so this
+//     coexists byte-for-byte with the tick representation.
+//
+//   - ways > 16: a per-line tick stamp (larger == more recent), victim =
+//     minimum stamp. Stamps are unique, so the LRU choice matches the
+//     move-to-front order exactly.
 type Cache struct {
 	cfg       Config
 	lineShift uint
 	setMask   uint64
 	ways      int
-	// Flat arrays indexed by set*ways+way.
-	tags  []uint64
-	valid []bool
-	// lruTick provides cheap true-LRU: larger == more recent.
-	lruTick []uint64
-	tick    uint64
-	stats   Stats
+	// tags is a flat array indexed by set*ways+way, storing line+1 so that
+	// 0 means "invalid" — validity rides inside the tag word and the hot
+	// lookup loops touch one array instead of two.
+	tags []uint64
+	// order is the packed per-set recency word (ways <= 16 only).
+	order     []uint64
+	orderMask uint64
+	// lruTick / tick / validCount implement the fallback representation
+	// (ways > 16): tick stamps per line, plus a per-set valid-way count so
+	// full sets skip the invalid-way bookkeeping.
+	lruTick    []uint64
+	validCount []uint16
+	tick       uint64
+	stats      Stats
+}
+
+// initOrder is the identity packing: nibble p holds way p.
+const initOrder = 0xFEDCBA9876543210
+
+const (
+	nibbleLo = 0x1111111111111111
+	nibbleHi = 0x8888888888888888
+)
+
+// findShift returns the bit offset (4 * recency position) of way w in the
+// packed order q. w must be present — every way index always is.
+func findShift(q, w uint64) uint {
+	// Standard find-the-zero-nibble trick on q XOR broadcast(w): nibbles
+	// below the first match are nonzero, so no borrow reaches it and the
+	// lowest marker bit is exact.
+	x := q ^ (w * nibbleLo)
+	m := (x - nibbleLo) & ^x & nibbleHi
+	return uint(bits.TrailingZeros64(m)) - 3
+}
+
+// moveFront makes way w the most recent in q.
+func moveFront(q, w uint64) uint64 {
+	sh := findShift(q, w)
+	below := q & (1<<sh - 1)
+	above := q >> (sh + 4) << (sh + 4)
+	return above | below<<4 | w
+}
+
+// moveToTail parks way w at the stale end of q (invalid-way invariant).
+func (c *Cache) moveToTail(s int, w uint64) {
+	q := c.order[s]
+	sh := findShift(q, w)
+	below := q & (1<<sh - 1)
+	above := q >> (sh + 4) << sh
+	c.order[s] = above | below | w<<(4*uint(c.ways-1))
 }
 
 // New builds a cache from cfg, panicking on invalid configuration (caches
@@ -93,15 +153,24 @@ func New(cfg Config) *Cache {
 	}
 	lines := cfg.SizeBytes / cfg.LineBytes
 	sets := lines / cfg.Ways
-	return &Cache{
+	c := &Cache{
 		cfg:       cfg,
 		lineShift: uint(bits.TrailingZeros(uint(cfg.LineBytes))),
 		setMask:   uint64(sets - 1),
 		ways:      cfg.Ways,
 		tags:      make([]uint64, lines),
-		valid:     make([]bool, lines),
-		lruTick:   make([]uint64, lines),
 	}
+	if cfg.Ways <= 16 {
+		c.orderMask = ^uint64(0) >> (64 - 4*uint(cfg.Ways))
+		c.order = make([]uint64, sets)
+		for s := range c.order {
+			c.order[s] = initOrder & c.orderMask
+		}
+	} else {
+		c.lruTick = make([]uint64, lines)
+		c.validCount = make([]uint16, sets)
+	}
+	return c
 }
 
 // Config returns the cache geometry.
@@ -132,12 +201,18 @@ func (c *Cache) setOf(line uint64) int { return int(line & c.setMask) }
 func (c *Cache) Access(addr uint64) bool {
 	c.stats.Accesses++
 	line := c.LineOf(addr)
-	base := c.setOf(line) * c.ways
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == line {
-			c.tick++
-			c.lruTick[i] = c.tick
+	t := line + 1
+	s := c.setOf(line)
+	base := s * c.ways
+	set := c.tags[base : base+c.ways]
+	for w := range set {
+		if set[w] == t {
+			if c.order != nil {
+				c.order[s] = moveFront(c.order[s], uint64(w))
+			} else {
+				c.tick++
+				c.lruTick[base+w] = c.tick
+			}
 			c.stats.Hits++
 			return true
 		}
@@ -150,10 +225,11 @@ func (c *Cache) Access(addr uint64) bool {
 // or statistics. Used by the pre-execute engine's validity checks.
 func (c *Cache) Contains(addr uint64) bool {
 	line := c.LineOf(addr)
+	t := line + 1
 	base := c.setOf(line) * c.ways
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == line {
+	set := c.tags[base : base+c.ways]
+	for w := range set {
+		if set[w] == t {
 			return true
 		}
 	}
@@ -165,47 +241,195 @@ func (c *Cache) Contains(addr uint64) bool {
 // Filling a line that is already present just refreshes its recency.
 func (c *Cache) Fill(addr uint64) (evicted uint64, wasValid bool) {
 	line := c.LineOf(addr)
-	base := c.setOf(line) * c.ways
-	victim := base
+	t := line + 1
+	s := c.setOf(line)
+	base := s * c.ways
+	set := c.tags[base : base+c.ways]
+	if c.order != nil {
+		q := c.order[s]
+		for w := range set {
+			if set[w] == t {
+				c.order[s] = moveFront(q, uint64(w))
+				return 0, false
+			}
+		}
+		return c.installPacked(s, set, q, t)
+	}
+	lru := c.lruTick[base : base+c.ways]
+	victim := 0
 	var victimTick uint64 = ^uint64(0)
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == line {
+	for w := range set {
+		if set[w] == t {
 			c.tick++
-			c.lruTick[i] = c.tick
+			lru[w] = c.tick
 			return 0, false
 		}
-		if !c.valid[i] {
-			// Prefer an invalid way; mark it immediately preferred.
+		if set[w] == 0 {
+			// Prefer the first invalid way; mark it immediately
+			// preferred (no valid line's lruTick can be 0).
 			if victimTick != 0 {
-				victim, victimTick = i, 0
+				victim, victimTick = w, 0
 			}
 			continue
 		}
-		if c.lruTick[i] < victimTick {
-			victim, victimTick = i, c.lruTick[i]
+		if lru[w] < victimTick {
+			victim, victimTick = w, lru[w]
 		}
 	}
 	c.stats.Fills++
-	if c.valid[victim] {
-		evicted, wasValid = c.tags[victim], true
+	if set[victim] != 0 {
+		evicted, wasValid = set[victim]-1, true
 		c.stats.Evictions++
+	} else {
+		c.validCount[s]++
 	}
 	c.tick++
-	c.tags[victim] = line
-	c.valid[victim] = true
-	c.lruTick[victim] = c.tick
+	set[victim] = t
+	lru[victim] = c.tick
 	return evicted, wasValid
+}
+
+// installPacked fills tag t into set s (packed-order representation): the
+// top nibble of q is an invalid way when one exists, the LRU way otherwise.
+func (c *Cache) installPacked(s int, set []uint64, q, t uint64) (evicted uint64, wasValid bool) {
+	v := q >> (4 * uint(c.ways-1))
+	c.stats.Fills++
+	if old := set[v]; old != 0 {
+		evicted, wasValid = old-1, true
+		c.stats.Evictions++
+	}
+	c.order[s] = (q<<4 | v) & c.orderMask
+	set[v] = t
+	return evicted, wasValid
+}
+
+// AccessFill is Access immediately followed by Fill on miss, fused into a
+// single scan of the set: the match walk doubles as the presence check, and
+// on miss the victim comes straight off the recency order — the executor's
+// hottest loop never walks a second per-way array. On hit it behaves
+// exactly like Access (recency refresh, no fill). On miss it installs the
+// line and returns the displaced tag like Fill. Stats and replacement
+// choices are bit-identical to the unfused pair — the victim is chosen from
+// the same pre-fill set state, because a missed Access mutates nothing.
+func (c *Cache) AccessFill(addr uint64) (hit bool, evicted uint64, wasValid bool) {
+	c.stats.Accesses++
+	line := c.LineOf(addr)
+	t := line + 1
+	s := c.setOf(line)
+	base := s * c.ways
+	set := c.tags[base : base+c.ways]
+	if c.order != nil {
+		q := c.order[s]
+		for w := range set {
+			if set[w] == t {
+				c.order[s] = moveFront(q, uint64(w))
+				c.stats.Hits++
+				return true, 0, false
+			}
+		}
+		c.stats.Misses++
+		evicted, wasValid = c.installPacked(s, set, q, t)
+		return false, evicted, wasValid
+	}
+	lru := c.lruTick[base : base+c.ways]
+	victim := 0
+	var victimTick uint64 = ^uint64(0)
+	for w := range set {
+		if set[w] == t {
+			c.tick++
+			lru[w] = c.tick
+			c.stats.Hits++
+			return true, 0, false
+		}
+		if set[w] == 0 {
+			if victimTick != 0 {
+				victim, victimTick = w, 0
+			}
+			continue
+		}
+		if lru[w] < victimTick {
+			victim, victimTick = w, lru[w]
+		}
+	}
+	c.stats.Misses++
+	c.stats.Fills++
+	if set[victim] != 0 {
+		evicted, wasValid = set[victim]-1, true
+		c.stats.Evictions++
+	} else {
+		c.validCount[s]++
+	}
+	c.tick++
+	set[victim] = t
+	lru[victim] = c.tick
+	return false, evicted, wasValid
+}
+
+// FillCold installs addr's line when the caller has just observed it absent
+// (an Access miss with no intervening fill of the same line — invalidations
+// are fine, they only remove lines). With the packed recency order this is
+// O(1): no tag or recency walk at all. The chosen victim and all state
+// transitions are identical to Fill's.
+func (c *Cache) FillCold(addr uint64) (evicted uint64, wasValid bool) {
+	line := c.LineOf(addr)
+	t := line + 1
+	s := c.setOf(line)
+	base := s * c.ways
+	if c.order != nil {
+		return c.installPacked(s, c.tags[base:base+c.ways], c.order[s], t)
+	}
+	set := c.tags[base : base+c.ways]
+	c.stats.Fills++
+	if int(c.validCount[s]) == c.ways {
+		// Set full: victim selection never consults the tags — a pure
+		// LRU scan suffices, and the eviction is certain.
+		lru := c.lruTick[base : base+c.ways]
+		victim := 0
+		victimTick := lru[0]
+		for w := 1; w < len(lru); w++ {
+			if lru[w] < victimTick {
+				victim, victimTick = w, lru[w]
+			}
+		}
+		c.stats.Evictions++
+		evicted = set[victim] - 1
+		c.tick++
+		set[victim] = t
+		lru[victim] = c.tick
+		return evicted, true
+	}
+	// The set has an invalid way; install into the first one, exactly as
+	// the full walk would choose (no valid line can outrank an invalid
+	// one, since valid lruTicks are always >= 1).
+	victim := 0
+	for w := range set {
+		if set[w] == 0 {
+			victim = w
+			break
+		}
+	}
+	c.validCount[s]++
+	c.tick++
+	set[victim] = t
+	c.lruTick[base+victim] = c.tick
+	return 0, false
 }
 
 // Invalidate drops addr's line if present, returning whether it was present.
 func (c *Cache) Invalidate(addr uint64) bool {
 	line := c.LineOf(addr)
-	base := c.setOf(line) * c.ways
-	for w := 0; w < c.ways; w++ {
-		i := base + w
-		if c.valid[i] && c.tags[i] == line {
-			c.valid[i] = false
+	t := line + 1
+	s := c.setOf(line)
+	base := s * c.ways
+	set := c.tags[base : base+c.ways]
+	for w := range set {
+		if set[w] == t {
+			set[w] = 0
+			if c.order != nil {
+				c.moveToTail(s, uint64(w))
+			} else {
+				c.validCount[s]--
+			}
 			return true
 		}
 	}
@@ -218,8 +442,13 @@ func (c *Cache) Invalidate(addr uint64) bool {
 func (c *Cache) InvalidateMatching(match func(line uint64) bool) int {
 	n := 0
 	for i := range c.tags {
-		if c.valid[i] && match(c.tags[i]) {
-			c.valid[i] = false
+		if c.tags[i] != 0 && match(c.tags[i]-1) {
+			c.tags[i] = 0
+			if c.order != nil {
+				c.moveToTail(i/c.ways, uint64(i%c.ways))
+			} else {
+				c.validCount[i/c.ways]--
+			}
 			n++
 		}
 	}
@@ -228,16 +457,25 @@ func (c *Cache) InvalidateMatching(match func(line uint64) bool) int {
 
 // Flush invalidates every line.
 func (c *Cache) Flush() {
-	for i := range c.valid {
-		c.valid[i] = false
+	for i := range c.tags {
+		c.tags[i] = 0
+	}
+	if c.order != nil {
+		for s := range c.order {
+			c.order[s] = initOrder & c.orderMask
+		}
+		return
+	}
+	for i := range c.validCount {
+		c.validCount[i] = 0
 	}
 }
 
 // ValidLines returns the number of currently valid lines.
 func (c *Cache) ValidLines() int {
 	n := 0
-	for _, v := range c.valid {
-		if v {
+	for _, t := range c.tags {
+		if t != 0 {
 			n++
 		}
 	}

@@ -56,6 +56,17 @@ type Core struct {
 	// DispatchedAt is when the current dispatch put its process on the
 	// CPU, for occupancy reporting on leave events.
 	DispatchedAt sim.Time
+
+	// pctx is the scratch policy context reused across faults, so Decide
+	// never forces a heap allocation on the fault path.
+	pctx policy.Context
+	// pxEnv is the pre-execute environment built once per core: its
+	// callbacks close over the core and read pxP/pxAS, set per episode.
+	// Without this, every synchronous fault allocated eight closures.
+	pxEnv  preexec.Env
+	pxInit bool
+	pxP    *Proc
+	pxAS   *pagetable.AddressSpace
 }
 
 // Emit stamps the event with the core id and routes it to the core's
@@ -131,8 +142,16 @@ func (c *Core) RunUntil(horizon sim.Time) {
 		// Compute gap (once per record, even across fault retries).
 		if rec.Gap > 0 && !p.gapPaid {
 			p.instCarry += uint64(rec.Gap)
-			d := sim.Time(p.instCarry / uint64(s.Cfg.InstPerNs))
-			p.instCarry %= uint64(s.Cfg.InstPerNs)
+			var d sim.Time
+			if s.instShift >= 0 {
+				// Power-of-two InstPerNs (the default): shift/mask is
+				// the same quotient/remainder without a per-record div.
+				d = sim.Time(p.instCarry >> uint(s.instShift))
+				p.instCarry &= s.instMask
+			} else {
+				d = sim.Time(p.instCarry / uint64(s.Cfg.InstPerNs))
+				p.instCarry %= uint64(s.Cfg.InstPerNs)
+			}
 			if d > 0 {
 				c.advance(p, d)
 			}
@@ -213,35 +232,33 @@ func (c *Core) chargeSwitch(p *Proc) {
 }
 
 // peek returns the i-th unexecuted record (0 = next), refilling the
-// lookahead buffer from the generator. Peeks beyond the configured
+// lookahead ring from the generator. Peeks beyond the configured
 // lookahead window report end-of-window: the pre-execute engine's
 // visibility is bounded by the hardware instruction window it models.
+// Records decode straight into ring slots — the executor's per-record
+// path performs no allocation.
 func (c *Core) peek(p *Proc, i int) (trace.Record, bool) {
 	if i >= c.S.Cfg.Lookahead {
 		return trace.Record{}, false
 	}
-	for !p.drained && len(p.look)-p.head <= i {
-		var r trace.Record
-		if !p.Spec.Gen.Next(&r) {
+	for !p.drained && p.size <= i {
+		if !p.Spec.Gen.Next(&p.look[(p.head+p.size)&p.mask]) {
 			p.drained = true
 			break
 		}
-		p.look = append(p.look, r)
+		p.size++
 	}
-	if p.head+i < len(p.look) {
-		return p.look[p.head+i], true
+	if i < p.size {
+		return p.look[(p.head+i)&p.mask], true
 	}
 	return trace.Record{}, false
 }
 
-// pop consumes the head record, compacting the buffer periodically.
+// pop consumes the head record.
 func (c *Core) pop(p *Proc) {
 	p.gapPaid = false
-	p.head++
-	if p.head >= 4096 && p.head*2 >= len(p.look) {
-		p.look = append(p.look[:0], p.look[p.head:]...)
-		p.head = 0
-	}
+	p.head = (p.head + 1) & p.mask
+	p.size--
 }
 
 // advance moves this core's clock forward by d (firing due local events)
@@ -267,7 +284,7 @@ func (c *Core) access(p *Proc, rec trace.Record) (blockedOut bool) {
 	s := c.S
 	write := rec.Kind == trace.Store
 	for {
-		tr, _, prefHit := s.Krn.Translate(p.PID, rec.Addr, write)
+		tr, _, prefHit := s.Krn.TranslateIn(p.KP, rec.Addr, write)
 		if tr == kernel.Present {
 			if prefHit {
 				// Swap-cache hit on a prefetched page: minor fault.
@@ -306,21 +323,35 @@ func (c *Core) cacheAccess(p *Proc, addr uint64) {
 		return
 	}
 	p.Met.LLCAccesses++
-	if s.LLC.Access(key) {
+	// The LLC lookup and the miss-path fill are fused into one set scan
+	// (cache.AccessFill); nothing between the unfused pair ever touched
+	// the caches — event handlers fired by advance are scheduler- and
+	// kernel-only — so fusing is invisible to the simulation. The L1
+	// refills use FillCold: the key just missed L1 and only invalidations
+	// can intervene, so the match scan is provably dead.
+	hit, victim, wasValid := s.LLC.AccessFill(key)
+	if hit {
 		c.advance(p, s.Cfg.L1Hit+s.Cfg.LLCHit)
 		// The LLC-hit service time is still the CPU waiting on the
 		// memory hierarchy (paper: idle accrues "during the cache
 		// misses"), here an L1 miss served by the LLC.
 		p.Met.MemStall += s.Cfg.LLCHit
-		c.L1.Fill(key)
+		c.L1.FillCold(key)
 		return
+	}
+	if wasValid {
+		// Inclusive hierarchy: back-invalidate the displaced line from
+		// every private L1 (same as llcFill, without re-filling).
+		addr := s.LLC.AddrOf(victim)
+		for _, cc := range s.Cores {
+			cc.L1.Invalidate(addr)
+		}
 	}
 	p.Met.LLCMisses++
 	stall := s.Cfg.L1Hit + s.Cfg.LLCHit + mem.AccessLatency
 	c.advance(p, stall)
 	p.Met.MemStall += s.Cfg.LLCHit + mem.AccessLatency
-	s.llcFill(key)
-	c.L1.Fill(key)
+	c.L1.FillCold(key)
 }
 
 // ensureSwapIn starts (or joins) the swap-in of (pid, page-of-va) and
@@ -336,12 +367,14 @@ func (c *Core) ensureSwapIn(p *Proc, va uint64, kind swapKind) sim.Time {
 	// A page picked as a prefetch candidate can become resident before the
 	// candidates are issued (an earlier swap-in completing during the
 	// dispatch/walk time); treat that as already done.
-	if pte, ok := s.Krn.Process(p.PID).AS.Lookup(page); ok && pte.Present() {
+	if pte, ok := p.KP.AS.Lookup(page); ok && pte.Present() {
 		return c.Eng.Now()
 	}
 	out := s.Krn.StartSwapIn(c.Eng.Now(), p.PID, page, kind != swapDemand)
 	s.Inflight[key] = out.Done
-	c.SchedulePendingIO(p, &PendingIO{Key: key, Frame: out.Frame, Done: out.Done})
+	pio := s.getPendingIO()
+	pio.Key, pio.Frame, pio.Done = key, out.Frame, out.Done
+	c.SchedulePendingIO(p, pio)
 	if kind == swapPrefetch {
 		p.Met.PrefetchIssued++
 		if s.Want[obs.EvPrefetchIssue] {
@@ -354,14 +387,11 @@ func (c *Core) ensureSwapIn(p *Proc, va uint64, kind swapKind) sim.Time {
 
 // SchedulePendingIO schedules pio's completion (page-table update, unpin,
 // inflight cleanup) on this core's engine and tracks it on p so a steal can
-// re-home it.
+// re-home it. The completion is the PendingIO itself (sim.Handler), so
+// scheduling allocates neither a closure nor an event struct.
 func (c *Core) SchedulePendingIO(p *Proc, pio *PendingIO) {
-	s := c.S
-	pio.Ev = c.Eng.Schedule(pio.Done, func(sim.Time) {
-		s.Krn.CompleteSwapIn(p.PID, pio.Key.Page, pio.Frame)
-		delete(s.Inflight, pio.Key)
-		p.dropPending(pio)
-	})
+	pio.p, pio.s = p, c.S
+	pio.Ev = c.Eng.ScheduleHandler(pio.Done, pio)
 	p.Pending = append(p.Pending, pio)
 }
 
@@ -371,7 +401,7 @@ func (c *Core) clusterSwapIn(p *Proc, va uint64) sim.Time {
 	cluster := uint64(c.S.Cfg.SwapClusterPages) * pagetable.PageSize
 	base := va &^ (cluster - 1)
 	victim := va &^ uint64(pagetable.PageSize-1)
-	as := c.S.Krn.Process(p.PID).AS
+	as := p.KP.AS
 	var last sim.Time
 	for pv := base; pv < base+cluster; pv += pagetable.PageSize {
 		if pv == victim {
@@ -427,25 +457,28 @@ func (c *Core) majorFault(p *Proc, rec trace.Record) (blocked bool) {
 	s.Krn.ChargeHandler(kernel.FaultEntryCost)
 	s.Run.FaultHandlerTime += kernel.FaultEntryCost
 
-	ctx := policy.Context{
+	// The context lives on the Core (scratch, reused every fault): passing
+	// a stack struct through the Policy interface would force a heap
+	// allocation per fault.
+	c.pctx = policy.Context{
 		Now:          c.Eng.Now(),
 		PID:          p.PID,
 		VA:           rec.Addr,
-		AS:           s.Krn.Process(p.PID).AS,
+		AS:           p.KP.AS,
 		CurPriority:  p.Spec.Priority,
 		BusyChannels: s.Krn.Device().BusyChannelsAt(c.Eng.Now()),
 		Channels:     s.Krn.Device().Config().Channels,
 	}
 	if next := c.Sch.NextToRun(); next != -1 {
-		ctx.HasNext = true
-		ctx.NextPriority = s.Procs[next].Spec.Priority
+		c.pctx.HasNext = true
+		c.pctx.NextPriority = s.Procs[next].Spec.Priority
 	}
-	d := c.Pol.Decide(&ctx)
+	d := c.Pol.Decide(&c.pctx)
 	if d.PrefetchThrottled {
 		p.Met.PrefetchThrottled++
 		if s.Want[obs.EvPrefetchThrottle] {
 			c.Emit(obs.Event{Time: c.Eng.Now(), Type: obs.EvPrefetchThrottle, PID: p.PID,
-				VA: rec.Addr, Value: int64(ctx.BusyChannels)})
+				VA: rec.Addr, Value: int64(c.pctx.BusyChannels)})
 		}
 	}
 	if d.DispatchCost > 0 {
@@ -479,7 +512,7 @@ func (c *Core) majorFault(p *Proc, rec trace.Record) (blocked bool) {
 		c.scheduleFaultEnd(p, rec.Addr, faultStart, done, "async")
 		// Wake up when the page lands (after the completion event at
 		// the same timestamp, thanks to FIFO event ordering).
-		c.Eng.Schedule(done, func(sim.Time) { c.Sch.Unblock(p.PID) })
+		p.scheduleWake(c, done)
 		// Switching away is the asynchronous mode's price: 7 µs of pure
 		// state movement — longer than the ULL I/O itself.
 		c.chargeSwitch(p)
@@ -516,7 +549,7 @@ func (c *Core) majorFault(p *Proc, rec trace.Record) (blocked bool) {
 				VA: rec.Addr, Dur: c.Eng.Now() - c.DispatchedAt})
 		}
 		c.scheduleFaultEnd(p, rec.Addr, faultStart, done, spinCause)
-		c.Eng.Schedule(done, func(sim.Time) { c.Sch.Unblock(p.PID) })
+		p.scheduleWake(c, done)
 		c.chargeSwitch(p)
 		return true
 	}
@@ -612,6 +645,55 @@ func (c *Core) endRecovery(p *Proc, windowStart, done sim.Time) {
 	}
 }
 
+// pxEnvFor points the core's cached pre-execute environment at p and the
+// faulting record. The callbacks are built once per core (closing only over
+// the core) and dereference pxP/pxAS, so an episode costs zero allocations
+// instead of eight closures.
+func (c *Core) pxEnvFor(p *Proc, faulting trace.Record) {
+	c.pxP = p
+	c.pxAS = p.KP.AS
+	if !c.pxInit {
+		c.pxInit = true
+		s := c.S
+		c.pxEnv = preexec.Env{
+			Lookahead: func(i int) (trace.Record, bool) {
+				return c.peek(c.pxP, 1+i)
+			},
+			PagePresent: func(va uint64) bool {
+				pte, ok := c.pxAS.Lookup(va)
+				return ok && pte.Present()
+			},
+			PTEINV: func(va uint64) bool {
+				pte, ok := c.pxAS.Lookup(va)
+				return ok && pte.INV()
+			},
+			SetPTEINV: func(va uint64) {
+				c.pxAS.Update(va, setINV)
+			},
+			LLCContains: func(addr uint64) bool {
+				return s.LLC.Contains(Tagged(c.pxP.PID, addr))
+			},
+			LLCFill: func(addr uint64) {
+				s.llcFill(Tagged(c.pxP.PID, addr))
+				// The fill reads DRAM: reference the backing frame so
+				// CLOCK sees the page as live (pre-execution protects
+				// the pages it warms).
+				if pte, ok := c.pxAS.Lookup(addr); ok && pte.Present() {
+					s.Krn.DRAM().Touch(mem.FrameID(pte.Frame()), false)
+				}
+			},
+			ClearPTEINV: func(va uint64) {
+				c.pxAS.Update(va, clearINV)
+			},
+		}
+	}
+	c.pxEnv.FaultVA = faulting.Addr
+	c.pxEnv.FaultDst = faulting.Dst
+}
+
+func setINV(e pagetable.PTE) pagetable.PTE   { return e | pagetable.FlagINV }
+func clearINV(e pagetable.PTE) pagetable.PTE { return e &^ pagetable.FlagINV }
+
 // preExecute runs this core's fault-aware pre-execute engine during a
 // synchronous wait window, warming the shared LLC through its private
 // carve-out.
@@ -621,41 +703,8 @@ func (c *Core) preExecute(p *Proc, faulting trace.Record, window sim.Time) {
 		c.PX.FlushHardware()
 		c.lastPXPid = p.PID
 	}
-	as := s.Krn.Process(p.PID).AS
-	env := preexec.Env{
-		Lookahead: func(i int) (trace.Record, bool) {
-			return c.peek(p, 1+i)
-		},
-		PagePresent: func(va uint64) bool {
-			pte, ok := as.Lookup(va)
-			return ok && pte.Present()
-		},
-		PTEINV: func(va uint64) bool {
-			pte, ok := as.Lookup(va)
-			return ok && pte.INV()
-		},
-		SetPTEINV: func(va uint64) {
-			as.Update(va, func(e pagetable.PTE) pagetable.PTE { return e | pagetable.FlagINV })
-		},
-		LLCContains: func(addr uint64) bool {
-			return s.LLC.Contains(Tagged(p.PID, addr))
-		},
-		LLCFill: func(addr uint64) {
-			s.llcFill(Tagged(p.PID, addr))
-			// The fill reads DRAM: reference the backing frame so
-			// CLOCK sees the page as live (pre-execution protects
-			// the pages it warms).
-			if pte, ok := as.Lookup(addr); ok && pte.Present() {
-				s.Krn.DRAM().Touch(mem.FrameID(pte.Frame()), false)
-			}
-		},
-		ClearPTEINV: func(va uint64) {
-			as.Update(va, func(e pagetable.PTE) pagetable.PTE { return e &^ pagetable.FlagINV })
-		},
-		FaultVA:  faulting.Addr,
-		FaultDst: faulting.Dst,
-	}
-	res := c.PX.Run(window, env)
+	c.pxEnvFor(p, faulting)
+	res := c.PX.Run(window, c.pxEnv)
 	if res.Used > 0 {
 		c.advance(p, res.Used)
 		p.Met.StolenPreexec += res.Used - res.Overhead

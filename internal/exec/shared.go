@@ -2,6 +2,7 @@ package exec
 
 import (
 	"errors"
+	"math/bits"
 
 	"itsim/internal/bus"
 	"itsim/internal/cache"
@@ -48,6 +49,38 @@ type Shared struct {
 	Want [obs.NumTypes]bool
 	// GaugeEvery is the virtual-time gauge sampling interval (0 = off).
 	GaugeEvery sim.Time
+
+	// pioFree is the free list of recycled PendingIO structs. Completions
+	// are frequent (one per asynchronous swap-in) and short-lived, so
+	// pooling them keeps the hot loop allocation-free.
+	pioFree *PendingIO
+
+	// instShift/instMask replace the per-record div/mod in the gap
+	// conversion when InstPerNs is a power of two (the default, 2):
+	// gap >> instShift and gap & instMask compute the identical quotient
+	// and remainder. instShift is -1 when InstPerNs is not a power of two.
+	instShift int
+	instMask  uint64
+}
+
+// getPendingIO pops a recycled completion struct (or allocates the first
+// time). All fields the caller does not set are zeroed here.
+func (s *Shared) getPendingIO() *PendingIO {
+	pio := s.pioFree
+	if pio == nil {
+		return &PendingIO{}
+	}
+	s.pioFree = pio.next
+	*pio = PendingIO{}
+	return pio
+}
+
+// ReleasePendingIO returns a completion struct to the free list. Callers
+// must not retain pio afterwards; its event handle is owned by the engine
+// (fired) or already cancelled (steal path).
+func (s *Shared) ReleasePendingIO(pio *PendingIO) {
+	pio.next = s.pioFree
+	s.pioFree = pio
 }
 
 // NewShared builds the shared platform and one Core per policy instance
@@ -70,6 +103,12 @@ func NewShared(cfg Config, pols []policy.Policy, batchName string, specs []Proce
 	}
 	if cfg.InstPerNs <= 0 {
 		cfg.InstPerNs = DefaultInstPerNs
+	}
+	instShift := -1
+	var instMask uint64
+	if n := uint64(cfg.InstPerNs); n&(n-1) == 0 {
+		instShift = bits.TrailingZeros64(n)
+		instMask = n - 1
 	}
 	if cfg.Lookahead <= 0 {
 		cfg.Lookahead = DefaultLookahead
@@ -118,11 +157,13 @@ func NewShared(cfg Config, pols []policy.Policy, batchName string, specs []Proce
 		dev.SetInjector(fault.New(cfg.Fault))
 	}
 	s := &Shared{
-		Cfg:      cfg,
-		Krn:      kernel.New(mem.NewDRAM(frames, cfg.Replacement), dev),
-		LLC:      cache.New(cache.Config{SizeBytes: llcSize, LineBytes: cfg.LineBytes, Ways: llcWays}),
-		Run:      metrics.NewRun(pols[0].Name(), batchName),
-		Inflight: make(map[InflightKey]sim.Time),
+		Cfg:       cfg,
+		Krn:       kernel.New(mem.NewDRAM(frames, cfg.Replacement), dev),
+		LLC:       cache.New(cache.Config{SizeBytes: llcSize, LineBytes: cfg.LineBytes, Ways: llcWays}),
+		Run:       metrics.NewRun(pols[0].Name(), batchName),
+		Inflight:  make(map[InflightKey]sim.Time),
+		instShift: instShift,
+		instMask:  instMask,
 	}
 
 	// Pin every core's slice mapping to the batch-global priority range
@@ -183,9 +224,16 @@ func NewShared(cfg Config, pols []policy.Policy, batchName string, specs []Proce
 		sp.Gen.Reset()
 		p := &Proc{PID: pid, Spec: sp, Met: s.Run.AddProcess(pid, sp.Name, sp.Priority), Owner: pid % n}
 		p.Met.Tenant = sp.Tenant
+		ringLen := 1
+		for ringLen < cfg.Lookahead {
+			ringLen <<= 1
+		}
+		p.look = make([]trace.Record, ringLen)
+		p.mask = ringLen - 1
 		s.Procs = append(s.Procs, p)
 		s.Krn.AddProcess(pid, sp.Name, sp.Priority)
 		s.Krn.MapRegion(pid, sp.BaseVA, sp.Gen.FootprintBytes())
+		p.KP = s.Krn.Process(pid)
 		s.Cores[p.Owner].Sch.Add(pid, sp.Priority)
 	}
 	s.warmStart(cfg.WarmFraction, frames)

@@ -159,7 +159,13 @@ const (
 // as a minor fault; the caller charges MinorFaultCost and credits the
 // prefetcher.
 func (k *Kernel) Translate(pid int, va uint64, write bool) (t Translation, frame mem.FrameID, prefetchHit bool) {
-	p := k.Process(pid)
+	return k.TranslateIn(k.Process(pid), va, write)
+}
+
+// TranslateIn is Translate on an already-resolved process: the executor
+// resolves each Proc's kernel process once at construction and calls this
+// per record, keeping the pid map lookup out of the hot loop.
+func (k *Kernel) TranslateIn(p *Process, va uint64, write bool) (t Translation, frame mem.FrameID, prefetchHit bool) {
 	va &^= uint64(pagetable.PageSize - 1)
 	pte, ok := p.AS.Lookup(va)
 	if !ok || !pte.Mapped() {
@@ -171,7 +177,9 @@ func (k *Kernel) Translate(pid int, va uint64, write bool) (t Translation, frame
 		if prefetchHit {
 			k.stats.MinorFaults++
 		}
-		if write {
+		if write && !pte.Dirty() {
+			// Already-dirty pages skip the second table walk: OR-ing
+			// the flag in again is a no-op on PTE state and counters.
 			p.AS.Update(va, func(e pagetable.PTE) pagetable.PTE { return e | pagetable.FlagDirty })
 		}
 		return Present, id, prefetchHit

@@ -14,6 +14,7 @@ import (
 func BenchmarkMachineRun(b *testing.B) {
 	for _, kind := range []policy.Kind{policy.Sync, policy.ITS} {
 		b.Run(kind.String(), func(b *testing.B) {
+			b.ReportAllocs()
 			var records int
 			for i := 0; i < b.N; i++ {
 				batch := workload.Batches()[1]
@@ -55,6 +56,7 @@ func benchTracedRun(b *testing.B, trc *obs.Tracer) {
 // to measure tracing overhead; the nil-sink path must stay within 2% of the
 // seed's BenchmarkMachineRun/ITS.
 func BenchmarkTraceOff(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchTracedRun(b, nil)
 	}
@@ -63,6 +65,7 @@ func BenchmarkTraceOff(b *testing.B) {
 // BenchmarkTraceChrome is the same run with every event serialized to a
 // discarded Chrome trace — the full-observability worst case.
 func BenchmarkTraceChrome(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		benchTracedRun(b, obs.NewTracer(obs.NewChrome(io.Discard), obs.Filter{}))
 	}

@@ -167,8 +167,12 @@ func (d *DRAM) Touch(id FrameID, write bool) (firstPrefetchedTouch bool) {
 	if write {
 		f.Dirty = true
 	}
-	d.tick++
-	d.lruTick[id] = d.tick
+	if d.kind == ReplaceLRU {
+		// CLOCK never reads the recency ticks, and Touch runs once per
+		// simulated memory access — keep the bookkeeping policy-gated.
+		d.tick++
+		d.lruTick[id] = d.tick
+	}
 	return firstPrefetchedTouch
 }
 

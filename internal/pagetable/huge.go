@@ -67,6 +67,10 @@ func (a *AddressSpace) MapHuge(va uint64, pte PTE) {
 			}
 		}
 	}
+	// A huge mapping at the PMD level changes what Lookup must return for
+	// every VA in the region, including ones whose (empty) leaf table the
+	// lookup cache may hold.
+	a.lookPT = nil
 	e := a.hugeEntry(base, true)
 	old := *e
 	if old.Mapped() {
@@ -119,6 +123,7 @@ func (a *AddressSpace) SplitHuge(va uint64, split func(i int) PTE) bool {
 	if e == nil || *e == 0 {
 		return false
 	}
+	a.lookPT = nil
 	old := *e
 	*e = 0
 	if old.Mapped() {

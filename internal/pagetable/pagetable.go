@@ -117,7 +117,20 @@ type AddressSpace struct {
 	// tablesAllocated counts leaf+directory tables, exposed for memory
 	// overhead accounting and tests.
 	tablesAllocated int
+	// lookPT/lookTag cache the leaf table of the last successful Lookup
+	// descent (tag = va >> leafShift), mirroring a hardware paging-
+	// structure cache: Lookup runs once per simulated memory access, and
+	// sequential streams stay inside one 2 MiB leaf for thousands of
+	// records. Leaf tables are never freed or reallocated and Set writes
+	// through the same slice, so the only staleness hazard is a huge-page
+	// mapping appearing at the PMD level — MapHuge and SplitHuge drop the
+	// cache. Walk bypasses it: its level count feeds the timing model.
+	lookPT  []PTE
+	lookTag uint64
 }
+
+// leafShift is the VA shift selecting a leaf table (one 2 MiB reach).
+const leafShift = PageShift + 9
 
 // New returns an empty address space.
 func New() *AddressSpace {
@@ -168,8 +181,34 @@ func (a *AddressSpace) Walk(va uint64) (pte PTE, levels int, ok bool) {
 
 // Lookup is Walk without the cost detail.
 func (a *AddressSpace) Lookup(va uint64) (PTE, bool) {
-	p, _, ok := a.Walk(va)
-	return p, ok
+	va = canonical(va)
+	if a.lookPT != nil && va>>leafShift == a.lookTag {
+		p := a.lookPT[indexAt(va, Levels-1)]
+		return p, p != 0
+	}
+	return a.lookupSlow(va)
+}
+
+// lookupSlow is the full descent behind Lookup's leaf cache; it seats the
+// cache whenever it reaches a leaf table. va is already canonical.
+func (a *AddressSpace) lookupSlow(va uint64) (PTE, bool) {
+	n := &a.root
+	for l := 0; l < Levels-1; l++ {
+		if l == 2 && n.huge != nil {
+			if hp := n.huge[indexAt(va, 2)]; hp != 0 {
+				return hp, true
+			}
+		}
+		next := n.kids[indexAt(va, l)]
+		if next == nil {
+			return 0, false
+		}
+		n = next
+	}
+	a.lookPT = n.ptes
+	a.lookTag = va >> leafShift
+	p := n.ptes[indexAt(va, Levels-1)]
+	return p, p != 0
 }
 
 // entry returns a pointer to the leaf PTE for va, allocating intermediate

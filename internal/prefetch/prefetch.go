@@ -52,6 +52,12 @@ type VAWalker struct {
 	Degree int
 	// MaxScan bounds the PTEs examined per invocation.
 	MaxScan int
+
+	// buf backs Result.Pages across invocations. The caller consumes the
+	// result before the next Candidates call (the policy layer issues the
+	// prefetch DMAs inside the same fault), so reuse is safe and keeps the
+	// fault path allocation-free.
+	buf []uint64
 }
 
 // NewVAWalker returns a walker with the default degree and scan bound.
@@ -73,13 +79,14 @@ func (w *VAWalker) Candidates(as *pagetable.AddressSpace, victimVA uint64) Resul
 		maxScan = DefaultMaxScan
 	}
 	start := (victimVA &^ uint64(pagetable.PageSize-1)) + pagetable.PageSize
-	res := Result{Pages: make([]uint64, 0, degree)}
+	res := Result{Pages: w.buf[:0]}
 	visited, tables := as.VisitFrom(start, maxScan, func(s pagetable.WalkStep) bool {
 		if s.PTE.Swapped() {
 			res.Pages = append(res.Pages, s.VA)
 		}
 		return len(res.Pages) < degree
 	})
+	w.buf = res.Pages[:0]
 	res.Scanned = visited
 	res.WalkCost = sim.Time(tables)*TableAccessCost + sim.Time(visited)*EntryScanCost
 	return res
@@ -91,6 +98,10 @@ func (w *VAWalker) Candidates(as *pagetable.AddressSpace, victimVA uint64) Resul
 type PageOnPage struct {
 	// GroupPages is the unit size in pages.
 	GroupPages int
+
+	// buf backs Result.Pages across invocations; same contract as
+	// VAWalker.buf (result consumed before the next call).
+	buf []uint64
 }
 
 // DefaultGroupPages matches the ITS prefetch degree so the two prefetchers
@@ -112,7 +123,7 @@ func (p *PageOnPage) Candidates(as *pagetable.AddressSpace, victimVA uint64) Res
 	unit := uint64(group) * pagetable.PageSize
 	base := victimVA &^ (unit - 1)
 	victimPage := victimVA &^ uint64(pagetable.PageSize-1)
-	res := Result{Pages: make([]uint64, 0, group-1)}
+	res := Result{Pages: p.buf[:0]}
 	for va := base; va < base+unit; va += pagetable.PageSize {
 		res.Scanned++
 		if va == victimPage {
@@ -123,6 +134,7 @@ func (p *PageOnPage) Candidates(as *pagetable.AddressSpace, victimVA uint64) Res
 			res.Pages = append(res.Pages, va)
 		}
 	}
+	p.buf = res.Pages[:0]
 	// The group lookup is a handful of PTE reads within one table.
 	res.WalkCost = TableAccessCost + sim.Time(res.Scanned)*EntryScanCost
 	return res

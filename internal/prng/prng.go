@@ -77,7 +77,10 @@ func (r *Source) Uint64n(n uint64) uint64 {
 
 // Float64 returns a uniformly distributed float64 in [0, 1).
 func (r *Source) Float64() float64 {
-	return float64(r.Uint64()>>11) / (1 << 53)
+	// Multiplying by the exact reciprocal of 2^53 is bit-identical to the
+	// division (both are exact power-of-two scalings) and several times
+	// cheaper; this runs a handful of times per generated record.
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
 }
 
 // Bool returns true with probability p (clamped to [0,1]).

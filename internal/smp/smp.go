@@ -167,26 +167,35 @@ func (m *Machine) Run() (*metrics.Run, error) {
 	s.ScheduleGauges()
 
 	for s.Alive() > 0 {
+		// One pass computes both the chosen core (first strict minimum
+		// of next-event times) and the horizon — the earliest time any
+		// OTHER core is due, i.e. the second minimum: the chosen core
+		// executes up to it, then yields back so shared state mutates
+		// in deterministic near-time order. Nothing mutates between
+		// scanning a core and stepping, so the snapshot is exact. The
+		// scan runs once per coordinator step (roughly once per
+		// record when every core is busy), so it is kept to a single
+		// walk — nextTime scans for steal candidates and is not free.
 		best, bestT := -1, never
-		for _, c := range s.Cores {
-			if t, ok := m.nextTime(c); ok && (best == -1 || t < bestT) {
-				best, bestT = c.ID, t
+		horizon := never
+		for i, c := range s.Cores {
+			t, ok := m.nextTime(c)
+			if !ok {
+				continue
+			}
+			switch {
+			case best == -1:
+				best, bestT = i, t
+			case t < bestT:
+				// The displaced minimum is now the earliest
+				// "other" core (it preceded every later one).
+				best, bestT, horizon = i, t, bestT
+			case t < horizon:
+				horizon = t
 			}
 		}
 		if best == -1 {
 			return s.Run, fmt.Errorf("smp: deadlock — every core parked with %d processes unfinished", s.Alive())
-		}
-		// The horizon is the earliest time any OTHER core is due: the
-		// chosen core executes up to it, then yields back so shared
-		// state mutates in deterministic near-time order.
-		horizon := never
-		for _, c := range s.Cores {
-			if c.ID == best {
-				continue
-			}
-			if t, ok := m.nextTime(c); ok && t < horizon {
-				horizon = t
-			}
 		}
 		if err := m.step(s.Cores[best], horizon); err != nil {
 			return s.Run, err
@@ -297,6 +306,7 @@ func (m *Machine) steal(c *exec.Core, p *exec.Proc, at sim.Time) {
 		if pio.Done <= c.Eng.Now() {
 			s.Krn.CompleteSwapIn(p.PID, pio.Key.Page, pio.Frame)
 			delete(s.Inflight, pio.Key)
+			s.ReleasePendingIO(pio)
 		} else {
 			c.SchedulePendingIO(p, pio)
 		}

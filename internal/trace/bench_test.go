@@ -41,3 +41,34 @@ func BenchmarkRead(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkStreamIngest measures the streaming decode path end to end:
+// Reset (seek + header re-parse) plus one record per Next, with no
+// materialization. Steady-state iterations must not allocate per record —
+// the reused bufio buffer and caller-owned Record are the whole footprint.
+func BenchmarkStreamIngest(b *testing.B) {
+	recs := benchRecords(10000)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, NewSliceGenerator("bench", recs)); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	g, err := NewStreamGenerator(bytes.NewReader(data))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var r Record
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		n := 0
+		for g.Next(&r) {
+			n++
+		}
+		if n != len(recs) || g.Err() != nil {
+			b.Fatalf("streamed %d/%d records, err=%v", n, len(recs), g.Err())
+		}
+	}
+}

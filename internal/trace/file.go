@@ -136,7 +136,13 @@ type Reader struct {
 
 // NewReader parses the header and positions the reader at the first record.
 func NewReader(r io.Reader) (*Reader, error) {
-	br := bufio.NewReaderSize(r, 1<<16)
+	return newReaderFrom(bufio.NewReaderSize(r, 1<<16))
+}
+
+// newReaderFrom parses the header from an existing buffered reader — the
+// streaming generator rewinds by seeking the source and re-parsing through
+// its reused buffer.
+func newReaderFrom(br *bufio.Reader) (*Reader, error) {
 	magic := make([]byte, 4)
 	if _, err := io.ReadFull(br, magic); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadFormat, err)
@@ -223,7 +229,13 @@ func ReadAll(r io.Reader) (*SliceGenerator, error) {
 	if err != nil {
 		return nil, err
 	}
-	recs := make([]Record, 0, tr.Len())
+	// The header's count is untrusted input: cap the initial allocation
+	// and let append grow it if the trace really is that long.
+	hint := tr.Len()
+	if hint < 0 || hint > 1<<20 {
+		hint = 1 << 20
+	}
+	recs := make([]Record, 0, hint)
 	var rec Record
 	for {
 		ok, err := tr.Next(&rec)

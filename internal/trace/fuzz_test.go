@@ -38,6 +38,77 @@ func FuzzReadAll(f *testing.F) {
 	})
 }
 
+// FuzzReadStream: the streaming reader must never panic on arbitrary input,
+// and whenever ReadAll accepts the input, streaming the same bytes must
+// yield the identical record sequence (shared decode loop, so divergence
+// would mean the stream wrapper corrupted the position or latch state).
+func FuzzReadStream(f *testing.F) {
+	var buf bytes.Buffer
+	recs := []Record{
+		{Addr: 0x1000, Gap: 3, Size: 8, Kind: Load, Dst: 1, Src: 2},
+		{Addr: 0x2000, Gap: 0, Size: 4, Kind: Store, Dst: 3, Src: 4},
+		{Addr: 0x1fc0, Gap: 12, Size: 1, Kind: Load, Dst: 5, Src: 3},
+	}
+	if err := WriteAll(&buf, NewSliceGenerator("seed", recs)); err != nil {
+		f.Fatal(err)
+	}
+	valid := buf.Bytes()
+	f.Add(valid)
+	f.Add([]byte("ITRC"))
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)-1])
+	f.Add(append([]byte(nil), valid[:10]...))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sg, serr := NewStreamGenerator(bytes.NewReader(data))
+		ag, aerr := ReadAll(bytes.NewReader(data))
+		if serr != nil {
+			// Both parse the header through the same code: a header
+			// the stream rejects, ReadAll must reject too.
+			if aerr == nil {
+				t.Fatalf("stream rejected header ReadAll accepted: %v", serr)
+			}
+			return
+		}
+		var first []Record
+		var got Record
+		for sg.Next(&got) {
+			first = append(first, got)
+		}
+		if aerr == nil {
+			// Valid trace: the streamed sequence must be identical.
+			want := Records(ag)
+			if len(first) != len(want) {
+				t.Fatalf("stream yielded %d records, ReadAll %d", len(first), len(want))
+			}
+			for i := range want {
+				if first[i] != want[i] {
+					t.Fatalf("record %d: stream %+v vs readall %+v", i, first[i], want[i])
+				}
+			}
+			if sg.Err() != nil {
+				t.Fatalf("stream error on input ReadAll accepted: %v", sg.Err())
+			}
+		} else if sg.Err() == nil && uint64(len(first)) < sg.tr.count {
+			t.Fatalf("stream ended %d/%d records early without latching an error", len(first), sg.tr.count)
+		}
+		// Reset must reproduce the exact same prefix (and, on corrupt
+		// bodies, latch the same early end).
+		sg.Reset()
+		var second []Record
+		for sg.Next(&got) {
+			second = append(second, got)
+		}
+		if len(second) != len(first) {
+			t.Fatalf("after Reset: %d records vs %d on first pass", len(second), len(first))
+		}
+		for i := range first {
+			if second[i] != first[i] {
+				t.Fatalf("after Reset, record %d diverged", i)
+			}
+		}
+	})
+}
+
 // FuzzParseLackey: arbitrary text must never panic the Lackey importer.
 func FuzzParseLackey(f *testing.F) {
 	f.Add("I  0023C790,2\n L 04222C48,4\n")

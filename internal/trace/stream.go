@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"bufio"
+	"io"
+	"os"
+)
+
+// StreamGenerator adapts an ITRC stream to the Generator interface without
+// materializing the records: each Next decodes one record from the buffered
+// source, so a multi-gigabyte trace costs one 64 KiB buffer instead of its
+// decoded size. Reset seeks the source back to the start and re-parses the
+// header through the same buffer.
+//
+// Generator.Next cannot report errors, so a decode failure (truncated or
+// corrupt input past the header) latches into Err and ends the stream early;
+// callers that care must check Err after the run. The decode loop is shared
+// with ReadAll (both drive Reader.Next), which is what makes the streamed
+// record sequence byte-identical to the materialized one.
+type StreamGenerator struct {
+	src io.ReadSeeker
+	br  *bufio.Reader
+	tr  *Reader
+	err error
+}
+
+// NewStreamGenerator parses the header of src and returns a generator
+// positioned at the first record. src must support seeking (Reset rewinds).
+func NewStreamGenerator(src io.ReadSeeker) (*StreamGenerator, error) {
+	g := &StreamGenerator{src: src}
+	if err := g.rewind(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// rewind seeks the source to the start and re-parses the header, reusing the
+// buffered reader.
+func (g *StreamGenerator) rewind() error {
+	if _, err := g.src.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if g.br == nil {
+		g.br = bufio.NewReaderSize(g.src, 1<<16)
+	} else {
+		g.br.Reset(g.src)
+	}
+	tr, err := newReaderFrom(g.br)
+	if err != nil {
+		return err
+	}
+	g.tr = tr
+	return nil
+}
+
+// Name implements Generator.
+func (g *StreamGenerator) Name() string { return g.tr.Name() }
+
+// Len implements Generator.
+func (g *StreamGenerator) Len() int { return g.tr.Len() }
+
+// FootprintBytes implements Generator.
+func (g *StreamGenerator) FootprintBytes() uint64 { return g.tr.FootprintBytes() }
+
+// Reset implements Generator. A failing rewind (the file shrank, the pipe
+// does not seek) latches into Err and leaves the generator exhausted.
+func (g *StreamGenerator) Reset() {
+	g.err = nil
+	if err := g.rewind(); err != nil {
+		g.err = err
+		g.tr.read = g.tr.count // exhaust: Next must return false
+	}
+}
+
+// Next implements Generator.
+func (g *StreamGenerator) Next(rec *Record) bool {
+	if g.err != nil {
+		return false
+	}
+	ok, err := g.tr.Next(rec)
+	if err != nil {
+		g.err = err
+		return false
+	}
+	return ok
+}
+
+// Err returns the first decode or rewind error, or nil after a clean end of
+// trace.
+func (g *StreamGenerator) Err() error { return g.err }
+
+// FileGenerator is a StreamGenerator that owns its backing file.
+type FileGenerator struct {
+	*StreamGenerator
+	f *os.File
+}
+
+// OpenFile opens an ITRC trace file for streaming. The caller must Close it
+// after the run.
+func OpenFile(path string) (*FileGenerator, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	g, err := NewStreamGenerator(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileGenerator{StreamGenerator: g, f: f}, nil
+}
+
+// Close releases the backing file.
+func (g *FileGenerator) Close() error { return g.f.Close() }

@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// streamRoundTrip writes recs to a buffer and opens them back as a stream.
+func streamRoundTrip(t *testing.T, recs []Record) *StreamGenerator {
+	t.Helper()
+	var buf bytes.Buffer
+	g := NewSliceGenerator("roundtrip", recs)
+	g.SetFootprint(1 << 20)
+	if err := WriteAll(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := NewStreamGenerator(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+// TestStreamMatchesReadAll: the streamed sequence equals the materialized
+// one record for record, across Resets, with header metadata intact.
+func TestStreamMatchesReadAll(t *testing.T) {
+	recs := benchRecords(5000)
+	sg := streamRoundTrip(t, recs)
+
+	if sg.Name() != "roundtrip" || sg.Len() != len(recs) || sg.FootprintBytes() != 1<<20 {
+		t.Fatalf("header mismatch: name=%q len=%d foot=%d", sg.Name(), sg.Len(), sg.FootprintBytes())
+	}
+	for pass := 0; pass < 3; pass++ {
+		sg.Reset()
+		var r Record
+		i := 0
+		for sg.Next(&r) {
+			if r != recs[i] {
+				t.Fatalf("pass %d record %d: got %+v want %+v", pass, i, r, recs[i])
+			}
+			i++
+		}
+		if i != len(recs) {
+			t.Fatalf("pass %d: streamed %d/%d records", pass, i, len(recs))
+		}
+		if err := sg.Err(); err != nil {
+			t.Fatalf("pass %d: %v", pass, err)
+		}
+	}
+}
+
+// TestStreamTruncatedLatchesErr: cutting the body mid-record must end the
+// stream early with a latched error, never a panic or a silent full read.
+func TestStreamTruncatedLatchesErr(t *testing.T) {
+	recs := benchRecords(100)
+	var buf bytes.Buffer
+	if err := WriteAll(&buf, NewSliceGenerator("trunc", recs)); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-3]
+	sg, err := NewStreamGenerator(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var r Record
+	n := 0
+	for sg.Next(&r) {
+		n++
+	}
+	if n >= len(recs) {
+		t.Fatalf("streamed %d records from a truncated body", n)
+	}
+	if sg.Err() == nil {
+		t.Fatal("truncated body did not latch an error")
+	}
+}
+
+// TestOpenFile: the file-backed generator streams a trace written to disk
+// and reports Close/Err cleanly.
+func TestOpenFile(t *testing.T) {
+	recs := benchRecords(1000)
+	path := filepath.Join(t.TempDir(), "t.itrc")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteAll(f, NewSliceGenerator("onDisk", recs)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	got := Records(g)
+	if len(got) != len(recs) {
+		t.Fatalf("streamed %d/%d records", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i] != recs[i] {
+			t.Fatalf("record %d: got %+v want %+v", i, got[i], recs[i])
+		}
+	}
+	if err := g.Err(); err != nil {
+		t.Fatal(err)
+	}
+}

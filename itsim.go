@@ -220,6 +220,22 @@ func WriteTrace(w io.Writer, g Generator) error { return trace.WriteAll(w, g) }
 // Generator and can be placed in a ProcessSpec.
 func ReadTrace(r io.Reader) (Generator, error) { return trace.ReadAll(r) }
 
+// TraceFile is a streaming ITRC trace backed by an open file. It implements
+// Generator; Close it after the run.
+type TraceFile = trace.FileGenerator
+
+// OpenTrace opens an ITRC trace file for streaming: records decode
+// incrementally during the run instead of being materialized up front, so
+// arbitrarily large traces simulate in constant memory. The result can be
+// placed in a ProcessSpec; Close it when the run is done, and check its Err
+// method afterwards (a truncated file ends the trace early rather than
+// failing the run).
+func OpenTrace(path string) (*TraceFile, error) { return trace.OpenFile(path) }
+
+// StreamTrace wraps a seekable ITRC stream (e.g. an already-open file or a
+// bytes.Reader) as a streaming Generator without loading it into memory.
+func StreamTrace(r io.ReadSeeker) (Generator, error) { return trace.NewStreamGenerator(r) }
+
 // ParseLackey converts Valgrind Lackey --trace-mem output — the paper's
 // actual trace front end — into a Generator.
 func ParseLackey(r io.Reader, name string) (Generator, error) {
