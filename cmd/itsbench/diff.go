@@ -50,8 +50,8 @@ func diffMain(args []string, out io.Writer) int {
 	drifts := diffDocs(oldDoc, newDoc, *tolerance)
 	drifts = append(drifts, diffPerf(oldDoc, newDoc, *tolerance, *perfTolerance)...)
 	if len(drifts) == 0 {
-		fmt.Fprintf(out, "itsbench diff: no drift (%d figures, %d runs, %d perf points compared)\n",
-			len(oldDoc.Figures), len(oldDoc.Runs), len(oldDoc.Perf))
+		fmt.Fprintf(out, "itsbench diff: no drift (%d figures, %d runs, %d fleet sweeps, %d perf points compared)\n",
+			len(oldDoc.Figures), len(oldDoc.Runs), len(oldDoc.Fleet), len(oldDoc.Perf))
 		return 0
 	}
 	for _, d := range drifts {
@@ -184,6 +184,71 @@ func diffDocs(oldDoc, newDoc *jsonDoc, tol float64) []string {
 	for _, r := range oldDoc.Runs {
 		if !seen[runKey{r.Policy, r.Batch}] {
 			drifts = append(drifts, fmt.Sprintf("runs/%s/%s: missing from new document", r.Policy, r.Batch))
+		}
+	}
+
+	// Fleet summaries, keyed by routing/policy: the serving sweep's tails
+	// and attainment, plus resilience counters when either document carries
+	// them. This is the zero-chaos equivalence gate's comparator — chaos
+	// counters appearing in only one document always register as drift.
+	type fleetKey struct{ routing, policy string }
+	oldFleet := make(map[fleetKey]int, len(oldDoc.Fleet))
+	for i, s := range oldDoc.Fleet {
+		oldFleet[fleetKey{s.Routing, s.Policy}] = i
+	}
+	seenFleet := make(map[fleetKey]bool, len(newDoc.Fleet))
+	for _, s := range newDoc.Fleet {
+		key := fleetKey{s.Routing, s.Policy}
+		seenFleet[key] = true
+		i, ok := oldFleet[key]
+		if !ok {
+			drifts = append(drifts, fmt.Sprintf("fleet/%s/%s: only in new document", s.Routing, s.Policy))
+			continue
+		}
+		o := oldDoc.Fleet[i]
+		prefix := fmt.Sprintf("fleet/%s/%s/", s.Routing, s.Policy)
+		report(prefix+"makespan_ns", float64(o.MakespanNs), float64(s.MakespanNs))
+		report(prefix+"completed", float64(o.Completed), float64(s.Completed))
+		oldTenants := make(map[string]int, len(o.Tenants))
+		for ti, t := range o.Tenants {
+			oldTenants[t.Name] = ti
+		}
+		for _, t := range s.Tenants {
+			ti, ok := oldTenants[t.Name]
+			if !ok {
+				drifts = append(drifts, fmt.Sprintf("%stenants/%s: only in new document", prefix, t.Name))
+				continue
+			}
+			ot := o.Tenants[ti]
+			tp := fmt.Sprintf("%stenants/%s/", prefix, t.Name)
+			report(tp+"completed", float64(ot.Completed), float64(t.Completed))
+			report(tp+"latency_p99_ns", float64(ot.Latency.P99Ns), float64(t.Latency.P99Ns))
+			report(tp+"slo_attainment", ot.SLOAttainment, t.SLOAttainment)
+			report(tp+"timed_out", float64(ot.TimedOut), float64(t.TimedOut))
+			report(tp+"retries", float64(ot.Retries), float64(t.Retries))
+			report(tp+"hedges", float64(ot.Hedges), float64(t.Hedges))
+			report(tp+"shed", float64(ot.Shed), float64(t.Shed))
+			report(tp+"failed", float64(ot.Failed), float64(t.Failed))
+		}
+		oc, nc := o.Chaos, s.Chaos
+		if (oc == nil) != (nc == nil) {
+			have := "new"
+			if nc == nil {
+				have = "old"
+			}
+			drifts = append(drifts, fmt.Sprintf("%schaos: only in %s document", prefix, have))
+		} else if oc != nil {
+			report(prefix+"chaos/crashes", float64(oc.Crashes), float64(nc.Crashes))
+			report(prefix+"chaos/flaps", float64(oc.Flaps), float64(nc.Flaps))
+			report(prefix+"chaos/brownouts", float64(oc.Brownouts), float64(nc.Brownouts))
+			report(prefix+"chaos/rehomed", float64(oc.Rehomed), float64(nc.Rehomed))
+			report(prefix+"chaos/shed", float64(oc.Shed), float64(nc.Shed))
+			report(prefix+"chaos/failed", float64(oc.Failed), float64(nc.Failed))
+		}
+	}
+	for _, s := range oldDoc.Fleet {
+		if !seenFleet[fleetKey{s.Routing, s.Policy}] {
+			drifts = append(drifts, fmt.Sprintf("fleet/%s/%s: missing from new document", s.Routing, s.Policy))
 		}
 	}
 	return drifts

@@ -182,6 +182,73 @@ func TestDiffFaultInjectionFields(t *testing.T) {
 	}
 }
 
+// fleetDoc builds a document with one fleet sweep entry, optionally
+// carrying chaos stats.
+func fleetDoc(withChaos bool) *jsonDoc {
+	s := metrics.FleetSummary{
+		Policy:     "ITS",
+		Routing:    "health",
+		Machines:   3,
+		MakespanNs: 2_000_000,
+		Requests:   10,
+		Completed:  9,
+		Tenants: []metrics.TenantStats{{
+			Name: "web", Requests: 10, Completed: 9,
+			SLOAttainment: 0.9, TimedOut: 2, Retries: 1, Failed: 1,
+		}},
+	}
+	if withChaos {
+		s.Chaos = &metrics.ChaosStats{Crashes: 3, Rehomed: 5, Timeouts: 2, Retries: 1, Failed: 1}
+	}
+	return &jsonDoc{Scale: 0.25, Fleet: []metrics.FleetSummary{s}}
+}
+
+func TestDiffFleetSection(t *testing.T) {
+	dir := t.TempDir()
+
+	// Identical fleet docs: clean.
+	a := writeDoc(t, dir, "a.json", fleetDoc(true))
+	b := writeDoc(t, dir, "b.json", fleetDoc(true))
+	var out bytes.Buffer
+	if code := diffMain([]string{a, b}, &out); code != 0 {
+		t.Fatalf("identical fleet docs: exit %d, output:\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "1 fleet sweeps") {
+		t.Errorf("fleet sweep not counted: %q", out.String())
+	}
+
+	// Drifted resilience counters register per metric.
+	changed := fleetDoc(true)
+	changed.Fleet[0].Tenants[0].TimedOut = 5
+	changed.Fleet[0].Chaos.Crashes = 7
+	c := writeDoc(t, dir, "c.json", changed)
+	out.Reset()
+	if code := diffMain([]string{a, c}, &out); code != 1 {
+		t.Fatalf("drifted fleet docs: exit %d, want 1; output:\n%s", code, out.String())
+	}
+	for _, want := range []string{
+		"fleet/health/ITS/tenants/web/timed_out",
+		"fleet/health/ITS/chaos/crashes",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+
+	// A chaos block appearing on one side only is drift in either
+	// direction — the zero-chaos byte-inertness gate's comparator.
+	plain := writeDoc(t, dir, "plain.json", fleetDoc(false))
+	for _, pair := range [][2]string{{plain, a}, {a, plain}} {
+		out.Reset()
+		if code := diffMain([]string{pair[0], pair[1]}, &out); code != 1 {
+			t.Fatalf("chaos-block asymmetry: exit %d, want 1; output:\n%s", code, out.String())
+		}
+		if !strings.Contains(out.String(), "chaos: only in") {
+			t.Errorf("asymmetric chaos block not reported:\n%s", out.String())
+		}
+	}
+}
+
 func TestDiffUsageErrors(t *testing.T) {
 	var out bytes.Buffer
 	if code := diffMain([]string{"only-one.json"}, &out); code != 2 {

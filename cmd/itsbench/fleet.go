@@ -44,6 +44,7 @@ func printFleet(opts core.Options, format string, doc *jsonDoc) error {
 				Scale:         opts.Scale,
 				Cores:         opts.Cores,
 				Fault:         opts.Fault,
+				Chaos:         opts.Chaos,
 				SpinBudget:    opts.SpinBudget,
 				Tracer:        opts.Tracer,
 				GaugeInterval: opts.GaugeInterval,

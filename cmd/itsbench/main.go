@@ -46,6 +46,7 @@ import (
 	"os"
 	"time"
 
+	"itsim/internal/chaos"
 	"itsim/internal/core"
 	"itsim/internal/fault"
 	"itsim/internal/kernel"
@@ -70,6 +71,7 @@ type params struct {
 	traceFilter      string
 	gaugeEvery       time.Duration
 	faults           string
+	chaos            string
 	spinBudget       time.Duration
 	prefetchThrottle float64
 }
@@ -94,6 +96,7 @@ func main() {
 	flag.StringVar(&p.traceFilter, "trace-filter", "", "comma-separated event types and pid=N entries (empty = all)")
 	flag.DurationVar(&p.gaugeEvery, "gauge-interval", 0, "virtual-time gauge sampling interval, e.g. 100us (0 = off)")
 	flag.StringVar(&p.faults, "faults", "", "device fault-injection spec, e.g. 'seed=42,tailp=0.01,tailx=8,stallp=0.001,dmap=0.005' (empty = off)")
+	flag.StringVar(&p.chaos, "chaos", "", "machine-level chaos spec for -exp fleet, e.g. 'seed=1,crashr=20,brownr=40' (empty = off)")
 	flag.DurationVar(&p.spinBudget, "spin-budget", 0, "demote synchronous waits predicted to exceed this budget to async switches (0 = off)")
 	flag.Float64Var(&p.prefetchThrottle, "prefetch-throttle", 0, "ITS skips prefetch walks when this fraction of storage channels is busy, e.g. 0.75 (0 = off)")
 	flag.Parse()
@@ -152,6 +155,10 @@ func run(p params) error {
 	if err != nil {
 		return err
 	}
+	chaosCfg, err := chaos.ParseSpec(p.chaos)
+	if err != nil {
+		return err
+	}
 	if p.spinBudget < 0 {
 		return fmt.Errorf("negative spin budget %v", p.spinBudget)
 	}
@@ -164,6 +171,7 @@ func run(p params) error {
 		Tracer:        trc,
 		GaugeInterval: sim.Time(p.gaugeEvery.Nanoseconds()),
 		Fault:         faultCfg,
+		Chaos:         chaosCfg,
 		SpinBudget:    sim.Time(p.spinBudget.Nanoseconds()),
 		ITS:           policy.ITSConfig{PrefetchThrottleFraction: p.prefetchThrottle},
 	}

@@ -9,6 +9,7 @@ import (
 	"text/tabwriter"
 	"time"
 
+	"itsim/internal/chaos"
 	"itsim/internal/cluster"
 	"itsim/internal/fault"
 	"itsim/internal/metrics"
@@ -25,10 +26,18 @@ per-tenant latency and SLO attainment.
 
 Tenant specs are ';'-separated lists of comma-separated key=value pairs:
   name, bench, rate (req/s), requests (alias req), prio, scale,
-  pattern (steady|diurnal|bursty|multiperiod), period, amp, slo, seed
+  pattern (steady|diurnal|bursty|multiperiod), period, amp, slo, seed,
+  deadline (per-attempt timeout), retries, hedge (true/false)
 e.g. -tenants 'name=web,bench=pagerank,rate=4e5,req=16,slo=20ms;bench=caffe,req=8'
 
-Routing policies: round-robin, least-loaded, locality.
+Routing policies: round-robin, least-loaded, locality, health.
+
+Chaos specs (-chaos) are comma-separated key=value pairs:
+  seed, crashr/crashd (hard crashes: rate per virtual second per machine,
+  down window), warm/warmx (post-down cache-cold warm-up window and
+  slowdown), brownr/brownd/brownx (brownout rate, window, slowdown),
+  flapr/flapd (graceful leave/rejoin rate and off window)
+e.g. -chaos 'seed=1,crashr=20,crashd=2ms,brownr=40,brownx=4'
 
 flags:
 `
@@ -58,6 +67,8 @@ func fleetMain(args []string, out io.Writer) int {
 		traceFilter      = fs.String("trace-filter", "", "comma-separated event types and pid=N entries (empty = all)")
 		gaugeEvery       = fs.Duration("gauge-interval", 0, "virtual-time gauge sampling interval inside epochs (0 = off)")
 		faults           = fs.String("faults", "", "device fault-injection spec applied to every machine (seed mixed per machine)")
+		chaosSpec        = fs.String("chaos", "", "machine-level chaos spec: crashes, brownouts, flapping (see above)")
+		shedDepth        = fs.Int("shed", 0, "fleet queue-depth threshold above which non-top-priority arrivals are shed (0 = off)")
 		spinBudget       = fs.Duration("spin-budget", 0, "demote synchronous waits predicted to exceed this budget (0 = off)")
 		prefetchThrottle = fs.Float64("prefetch-throttle", 0, "ITS prefetch admission threshold on busy channels (0 = off)")
 	)
@@ -73,8 +84,8 @@ func fleetMain(args []string, out io.Writer) int {
 		policy: *policyName, seed: *seed, scale: *scale, cores: *cores,
 		format: *format, verbose: *verbose,
 		traceOut: *traceOut, traceFormat: *traceFormat, traceFilter: *traceFilter,
-		gaugeEvery: *gaugeEvery, faults: *faults, spinBudget: *spinBudget,
-		prefetchThrottle: *prefetchThrottle,
+		gaugeEvery: *gaugeEvery, faults: *faults, chaos: *chaosSpec, shed: *shedDepth,
+		spinBudget: *spinBudget, prefetchThrottle: *prefetchThrottle,
 	}); err != nil {
 		fmt.Fprintln(out, "itssim fleet:", err)
 		return 1
@@ -96,6 +107,8 @@ type fleetParams struct {
 	traceFilter      string
 	gaugeEvery       time.Duration
 	faults           string
+	chaos            string
+	shed             int
 	spinBudget       time.Duration
 	prefetchThrottle float64
 }
@@ -115,6 +128,13 @@ func runFleet(out io.Writer, p fleetParams) error {
 	faultCfg, err := fault.ParseSpec(p.faults)
 	if err != nil {
 		return err
+	}
+	chaosCfg, err := chaos.ParseSpec(p.chaos)
+	if err != nil {
+		return err
+	}
+	if p.shed < 0 {
+		return fmt.Errorf("negative shed depth %d", p.shed)
 	}
 	if p.spinBudget < 0 {
 		return fmt.Errorf("negative spin budget %v", p.spinBudget)
@@ -137,6 +157,8 @@ func runFleet(out io.Writer, p fleetParams) error {
 		Seed:          p.seed,
 		Cores:         p.cores,
 		Fault:         faultCfg,
+		Chaos:         chaosCfg,
+		ShedDepth:     p.shed,
 		SpinBudget:    sim.Time(p.spinBudget.Nanoseconds()),
 		Tracer:        trc,
 		GaugeInterval: sim.Time(p.gaugeEvery.Nanoseconds()),
@@ -169,6 +191,12 @@ func writeFleetText(out io.Writer, res *cluster.Result, verbose bool) {
 	if inj := s.Injection; inj != nil {
 		fmt.Fprintf(out, "  injected   tail=%d stall=%d dma=%d (retries %d)\n",
 			inj.TailSpikes, inj.ChannelStalls, inj.DMAFailures, inj.DMARetries)
+	}
+	if ch := s.Chaos; ch != nil {
+		fmt.Fprintf(out, "  chaos      crash=%d flap=%d brownout=%d rehomed=%d\n",
+			ch.Crashes, ch.Flaps, ch.Brownouts, ch.Rehomed)
+		fmt.Fprintf(out, "  resilience timeout=%d retry=%d hedge=%d (won %d) shed=%d failed=%d\n",
+			ch.Timeouts, ch.Retries, ch.Hedges, ch.HedgeWins, ch.Shed, ch.Failed)
 	}
 
 	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)

@@ -3,6 +3,9 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -86,6 +89,82 @@ func TestFleetMainDeterministic(t *testing.T) {
 	}
 }
 
+// TestFleetGoldenByteInert re-runs the exact invocations that produced the
+// committed pre-resilience goldens and requires byte-identical output: the
+// whole resilience plane (chaos hooks, timers, routing eligibility, health
+// tracking) must be invisible until a flag turns it on.
+func TestFleetGoldenByteInert(t *testing.T) {
+	const goldenTenants = "name=alpha,bench=caffe,req=4,prio=3,rate=2e5,pattern=diurnal,slo=50ms;" +
+		"name=beta,bench=randomwalk,req=3,prio=1,rate=1e5,pattern=bursty"
+	const goldenFaults = "seed=42,tailp=0.05,tailx=8,stallp=0.01,dmap=0.02"
+	for _, routing := range []string{"round-robin", "least-loaded", "locality"} {
+		for _, pol := range []string{"Sync", "ITS"} {
+			want, err := os.ReadFile(filepath.Join("testdata", "golden",
+				fmt.Sprintf("fleet_%s_%s.json", routing, pol)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var out bytes.Buffer
+			code := fleetMain([]string{
+				"-machines", "3", "-slots", "2", "-scale", "0.25", "-seed", "7",
+				"-routing", routing, "-policy", pol,
+				"-tenants", goldenTenants, "-faults", goldenFaults,
+				"-format", "json",
+			}, &out)
+			if code != 0 {
+				t.Fatalf("%s/%s: exit %d:\n%s", routing, pol, code, out.String())
+			}
+			if !bytes.Equal(out.Bytes(), want) {
+				t.Errorf("%s/%s: output diverged from pre-resilience golden", routing, pol)
+			}
+		}
+	}
+}
+
+// TestFleetMainChaoticDeterministic: the full chaos + deadline + hedge +
+// shed surface stays byte-deterministic through the CLI.
+func TestFleetMainChaoticDeterministic(t *testing.T) {
+	args := []string{
+		"-machines", "3", "-slots", "2", "-scale", "0.5", "-seed", "11",
+		"-routing", "health", "-shed", "12",
+		"-tenants", "name=alpha,bench=caffe,req=4,prio=3,rate=2e5,slo=50ms,deadline=8ms,retries=2;" +
+			"name=beta,bench=randomwalk,req=3,prio=1,rate=1e5,hedge=true",
+		"-chaos", "seed=3,crashr=60,brownr=80,flapr=30",
+		"-format", "json",
+	}
+	var a, b bytes.Buffer
+	if code := fleetMain(args, &a); code != 0 {
+		t.Fatalf("first run exit %d:\n%s", code, a.String())
+	}
+	if code := fleetMain(args, &b); code != 0 {
+		t.Fatalf("second run exit %d:\n%s", code, b.String())
+	}
+	if a.String() != b.String() {
+		t.Errorf("same-seed chaotic fleet runs diverged:\n%s\n---\n%s", a.String(), b.String())
+	}
+	var s metrics.FleetSummary
+	if err := json.Unmarshal(a.Bytes(), &s); err != nil {
+		t.Fatalf("chaotic json did not parse: %v", err)
+	}
+	if s.Chaos == nil {
+		t.Fatalf("chaotic run reported no chaos stats:\n%s", a.String())
+	}
+	if s.Chaos.Crashes+s.Chaos.Flaps+s.Chaos.Brownouts == 0 {
+		t.Errorf("chaos enabled but no machine events landed: %+v", s.Chaos)
+	}
+
+	// The text renderer surfaces the same counters.
+	var text bytes.Buffer
+	if code := fleetMain(append(args[:len(args)-2], "-format", "text"), &text); code != 0 {
+		t.Fatalf("text run exit %d:\n%s", code, text.String())
+	}
+	for _, want := range []string{"chaos      crash=", "resilience timeout="} {
+		if !strings.Contains(text.String(), want) {
+			t.Errorf("chaotic text output missing %q:\n%s", want, text.String())
+		}
+	}
+}
+
 func TestFleetMainBadInput(t *testing.T) {
 	cases := map[string][]string{
 		"unknown flag":    {"-no-such-flag"},
@@ -97,6 +176,11 @@ func TestFleetMainBadInput(t *testing.T) {
 		"bad machines":    fleetArgs("-machines", "0"),
 		"bad throttle":    fleetArgs("-prefetch-throttle", "1.5"),
 		"bad faults":      fleetArgs("-faults", "tailp=oops"),
+		"bad chaos":       fleetArgs("-chaos", "crashr=-1"),
+		"unknown chaos":   fleetArgs("-chaos", "crasher=1"),
+		"negative shed":   fleetArgs("-shed", "-1"),
+		"bad deadline":    {"-tenants", "bench=caffe,req=1,deadline=fast"},
+		"retries no ddl":  {"-tenants", "bench=caffe,req=1,retries=3"},
 	}
 	for name, args := range cases {
 		var out bytes.Buffer

@@ -74,6 +74,11 @@ var summaryBaseline = map[string]map[string]bool{
 		"SLOAttainment", "Latency", "SyncWait"),
 	"MachineStats": set("ID", "Epochs", "Requests", "BusyNs", "IdleNs",
 		"WaitingNs", "StolenNs", "MajorFaults", "DemotedWaits"),
+	// Resilience-era struct, frozen at introduction: emitted only when the
+	// resilience plane is active (the chaos key is itself omitempty on
+	// FleetSummary), so its fields are part of the baseline layout.
+	"ChaosStats": set("Crashes", "Flaps", "Brownouts", "Rehomed", "Timeouts",
+		"Retries", "Hedges", "HedgeWins", "Shed", "Failed"),
 }
 
 func set(names ...string) map[string]bool {

@@ -47,6 +47,10 @@ var deterministicPkgs = map[string]bool{
 	"itsim/internal/replay":   true,
 	"itsim/internal/workload": true,
 	"itsim/internal/cluster":  true,
+	// Chaos schedules are replayed byte-for-byte by the CI chaos-
+	// determinism job: any nondeterminism here reshuffles machine
+	// failures across identically-seeded runs.
+	"itsim/internal/chaos": true,
 }
 
 // Deterministic reports whether the import path belongs to the simulator's

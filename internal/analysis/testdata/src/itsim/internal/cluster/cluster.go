@@ -15,6 +15,8 @@ func routeClean(ev obs.Event) int {
 		return 2
 	case obs.EvC:
 		return 3
+	case obs.EvD:
+		return 4
 	}
 	return 0
 }
@@ -33,7 +35,7 @@ func routeDefaulted(ev obs.Event) int {
 // routeLeaky silently ignores EvC: flagged even though it is not a Write
 // method.
 func routeLeaky(ev obs.Event) int {
-	switch ev.Type { // want `cluster switch does not handle event kinds EvC`
+	switch ev.Type { // want `cluster switch does not handle event kinds EvC, EvD`
 	case obs.EvA:
 		return 1
 	case obs.EvB:
@@ -46,7 +48,7 @@ func routeLeaky(ev obs.Event) int {
 type coordinator struct{ n int }
 
 func (c *coordinator) observe(ev obs.Event) {
-	switch ev.Type { // want `cluster switch does not handle event kinds EvB, EvC`
+	switch ev.Type { // want `cluster switch does not handle event kinds EvB, EvC, EvD`
 	case obs.EvA:
 		c.n++
 	}

@@ -29,3 +29,12 @@ type Other struct {
 }
 
 func use(s Summary) int { return s.hidden }
+
+// ChaosStats is tracked with its whole introduction-era field set frozen:
+// baseline fields need no omitempty, post-introduction growth does.
+type ChaosStats struct {
+	Crashes  uint64 `json:"crashes"`
+	Rehomed  uint64 `json:"rehomed"`
+	NewAxis  uint64 `json:"new_axis"` // want `field ChaosStats\.NewAxis is not in the seed summary layout`
+	NewAxis2 uint64 `json:"new_axis2,omitempty"`
+}

@@ -12,6 +12,7 @@ const (
 	EvA Type = iota
 	EvB
 	EvC
+	EvD
 	NumTypes
 )
 
@@ -21,7 +22,7 @@ type Event struct {
 }
 
 // Exhaustive handles every kind explicitly: clean.
-type Exhaustive struct{ a, b, c int }
+type Exhaustive struct{ a, b, c, d int }
 
 // Write implements the sink contract.
 func (s *Exhaustive) Write(ev Event) {
@@ -32,6 +33,8 @@ func (s *Exhaustive) Write(ev Event) {
 		s.b++
 	case EvC:
 		s.c++
+	case EvD:
+		s.d++
 	}
 }
 
@@ -49,12 +52,12 @@ func (s *Defaulted) Write(ev Event) {
 	}
 }
 
-// Leaky silently ignores EvC: flagged.
+// Leaky silently ignores EvC and EvD: flagged with the full missing list.
 type Leaky struct{ a, b int }
 
 // Write implements the sink contract.
 func (s *Leaky) Write(ev Event) {
-	switch ev.Type { // want `sink switch does not handle event kinds EvC`
+	switch ev.Type { // want `sink switch does not handle event kinds EvC, EvD`
 	case EvA:
 		s.a++
 	case EvB:

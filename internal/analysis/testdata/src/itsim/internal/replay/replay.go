@@ -14,6 +14,8 @@ func foldClean(ev obs.Event) int {
 		return 2
 	case obs.EvC:
 		return 3
+	case obs.EvD:
+		return 4
 	}
 	return 0
 }
@@ -32,7 +34,7 @@ func foldDefaulted(ev obs.Event) int {
 // foldLeaky silently ignores EvC: flagged even though it is not a Write
 // method.
 func foldLeaky(ev obs.Event) int {
-	switch ev.Type { // want `replay switch does not handle event kinds EvC`
+	switch ev.Type { // want `replay switch does not handle event kinds EvC, EvD`
 	case obs.EvA:
 		return 1
 	case obs.EvB:
@@ -45,7 +47,7 @@ func foldLeaky(ev obs.Event) int {
 type folder struct{ n int }
 
 func (f *folder) fold(ev obs.Event) {
-	switch ev.Type { // want `replay switch does not handle event kinds EvB, EvC`
+	switch ev.Type { // want `replay switch does not handle event kinds EvB, EvC, EvD`
 	case obs.EvA:
 		f.n++
 	}

@@ -1,0 +1,181 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+
+	"itsim/internal/sim"
+)
+
+func TestParseSpec(t *testing.T) {
+	cases := []struct {
+		name string
+		spec string
+		want Config // compared only when wantErr is empty
+		errs string // substring the error must contain; empty = must parse
+	}{
+		{name: "empty", spec: "", want: Config{}},
+		{name: "whitespace only", spec: "  ", want: Config{}},
+		{name: "full", spec: "seed=42,crashr=5,crashd=3ms,warm=1ms,warmx=2.5,brownr=10,brownd=500us,brownx=6,flapr=2,flapd=250us",
+			want: Config{Seed: 42, CrashRate: 5, CrashDown: 3 * sim.Millisecond,
+				Warm: sim.Millisecond, WarmMult: 2.5, BrownRate: 10,
+				BrownDur: 500 * sim.Microsecond, BrownMult: 6, FlapRate: 2,
+				FlapDown: 250 * sim.Microsecond}},
+		{name: "spaces and case", spec: " CRASHR = 1 , FlapR = 2 ",
+			want: Config{CrashRate: 1, FlapRate: 2}},
+		{name: "hex seed", spec: "seed=0xdead", want: Config{Seed: 0xdead}},
+		{name: "trailing comma", spec: "crashr=1,", want: Config{CrashRate: 1}},
+
+		{name: "bare key", spec: "crashr", errs: "malformed spec entry"},
+		{name: "unknown key", spec: "crasher=1", errs: "unknown spec key"},
+		{name: "bad float", spec: "crashr=fast", errs: "bad value for crashr"},
+		{name: "bad duration", spec: "crashd=3", errs: "bad value for crashd"},
+		{name: "bad seed", spec: "seed=-1", errs: "bad value for seed"},
+		{name: "negative rate", spec: "crashr=-1", errs: "crash rate must be finite and >= 0"},
+		{name: "nan rate", spec: "brownr=NaN", errs: "brownout rate must be finite"},
+		{name: "inf rate", spec: "flapr=Inf", errs: "flap rate must be finite"},
+		{name: "rate beyond max", spec: "crashr=1e8", errs: "crash rate must be <= 1e+07"},
+		{name: "negative duration", spec: "brownd=-1ms", errs: "brownout window must be >= 0"},
+		{name: "mult below one", spec: "brownx=0.5", errs: "brownout multiplier must be >= 1"},
+		{name: "nan mult", spec: "warmx=NaN", errs: "warm multiplier must be >= 1"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := ParseSpec(tc.spec)
+			if tc.errs != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.errs) {
+					t.Fatalf("ParseSpec(%q) err = %v, want substring %q", tc.spec, err, tc.errs)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("ParseSpec(%q): %v", tc.spec, err)
+			}
+			if got != tc.want {
+				t.Errorf("ParseSpec(%q) = %+v, want %+v", tc.spec, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestCheckProb(t *testing.T) {
+	for _, p := range []float64{0, 0.5, 1} {
+		if err := CheckProb("p", p); err != nil {
+			t.Errorf("CheckProb(%v) = %v, want nil", p, err)
+		}
+	}
+	nan := func() float64 { var z float64; return z / z }()
+	for _, p := range []float64{-0.01, 1.01, 2, nan} {
+		if err := CheckProb("p", p); err == nil {
+			t.Errorf("CheckProb(%v) = nil, want error", p)
+		}
+	}
+}
+
+// TestScheduleDeterminism: same (seed, id) ⇒ identical stream; different
+// ids and different seeds ⇒ decorrelated streams.
+func TestScheduleDeterminism(t *testing.T) {
+	cfg := Config{Seed: 7, CrashRate: 100, BrownRate: 50, FlapRate: 25}
+	draw := func(seed uint64, id int) []sim.Time {
+		c := cfg
+		c.Seed = seed
+		s := New(c).Machine(id)
+		var out []sim.Time
+		for i := 0; i < 32; i++ {
+			out = append(out, s.Next())
+			// Advance whichever axis produced the minimum.
+			switch s.Next() {
+			case s.Crash.Peek():
+				s.Crash.Advance()
+			case s.Brown.Peek():
+				s.Brown.Advance()
+			default:
+				s.Flap.Advance()
+			}
+		}
+		return out
+	}
+	eq := func(a, b []sim.Time) bool {
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if !eq(draw(7, 0), draw(7, 0)) {
+		t.Errorf("same (seed, id) produced different schedules")
+	}
+	if eq(draw(7, 0), draw(7, 1)) {
+		t.Errorf("different machine ids share a schedule")
+	}
+	if eq(draw(7, 0), draw(8, 0)) {
+		t.Errorf("different seeds share a schedule")
+	}
+}
+
+// TestStreamsStrictlyIncrease: window starts are strictly increasing even
+// at the maximum rate (the 1 ns floor).
+func TestStreamsStrictlyIncrease(t *testing.T) {
+	s := newStream(MaxRate, 1)
+	prev := sim.Time(-1)
+	for i := 0; i < 1000; i++ {
+		cur := s.Peek()
+		if cur <= prev {
+			t.Fatalf("stream not strictly increasing: %d after %d", cur, prev)
+		}
+		prev = cur
+		s.Advance()
+	}
+}
+
+// TestZeroRateAxisInert: a disabled axis owns no PRNG, never fires, and
+// Advance on it is a no-op — so sweeping one axis can never disturb
+// another's stream.
+func TestZeroRateAxisInert(t *testing.T) {
+	s := New(Config{Seed: 3, CrashRate: 10}).Machine(0)
+	if s.Brown.Peek() != Never || s.Flap.Peek() != Never {
+		t.Fatalf("zero-rate axes fired: brown=%d flap=%d", s.Brown.Peek(), s.Flap.Peek())
+	}
+	first := s.Crash.Peek()
+	s.Brown.Advance()
+	s.Flap.Advance()
+	if s.Crash.Peek() != first || s.Brown.Peek() != Never {
+		t.Errorf("advancing disabled axes perturbed the schedule")
+	}
+
+	// Enabling a second axis must not reshuffle the first one's windows.
+	both := New(Config{Seed: 3, CrashRate: 10, BrownRate: 10}).Machine(0)
+	if both.Crash.Peek() != first {
+		t.Errorf("enabling brownouts moved the first crash: %d != %d", both.Crash.Peek(), first)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	eff := New(Config{CrashRate: 1, BrownRate: 1, FlapRate: 1}).Config()
+	want := Config{CrashRate: 1, BrownRate: 1, FlapRate: 1,
+		CrashDown: DefaultCrashDown, Warm: DefaultWarm, WarmMult: DefaultWarmMult,
+		BrownDur: DefaultBrownDur, BrownMult: DefaultBrownMult, FlapDown: DefaultFlapDown}
+	if eff != want {
+		t.Errorf("defaulted config = %+v, want %+v", eff, want)
+	}
+	// Explicit values survive defaulting.
+	eff = New(Config{CrashRate: 1, CrashDown: sim.Microsecond, WarmMult: 8}).Config()
+	if eff.CrashDown != sim.Microsecond || eff.WarmMult != 8 {
+		t.Errorf("explicit knobs overwritten: %+v", eff)
+	}
+}
+
+func TestEnabled(t *testing.T) {
+	if (Config{}).Enabled() {
+		t.Errorf("zero config reports Enabled")
+	}
+	if (Config{CrashDown: sim.Millisecond, BrownMult: 4}).Enabled() {
+		t.Errorf("rates-free config reports Enabled")
+	}
+	for _, c := range []Config{{CrashRate: 1}, {BrownRate: 1}, {FlapRate: 1}} {
+		if !c.Enabled() {
+			t.Errorf("config %+v reports disabled", c)
+		}
+	}
+}

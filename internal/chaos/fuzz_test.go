@@ -1,0 +1,55 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseChaosSpec: ParseSpec must never panic, every accepted spec must
+// validate, and accepted specs must round-trip deterministically (parsing
+// twice yields the same Config).
+func FuzzParseChaosSpec(f *testing.F) {
+	seeds := []string{
+		"",
+		"seed=42",
+		"crashr=5,crashd=3ms",
+		"seed=1,crashr=5,crashd=3ms,warm=1ms,warmx=2.5,brownr=10,brownd=500us,brownx=6,flapr=2,flapd=250us",
+		"crashr=1e8",
+		"brownx=0.5",
+		"flapd=-1ms",
+		"crashr=NaN",
+		"seed=0xffffffffffffffff",
+		"crashr",
+		"=1",
+		"crashr=1,,flapr=2,",
+		" CRASHR = 1 ",
+		"unknown=1",
+		"crashd=1h",
+		strings.Repeat("crashr=1,", 64),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		cfg, err := ParseSpec(spec)
+		if err != nil {
+			if cfg != (Config{}) {
+				t.Fatalf("error path leaked a non-zero config: %+v", cfg)
+			}
+			return
+		}
+		if verr := cfg.Validate(); verr != nil {
+			t.Fatalf("accepted spec %q fails Validate: %v", spec, verr)
+		}
+		again, err := ParseSpec(spec)
+		if err != nil || again != cfg {
+			t.Fatalf("reparse of %q diverged: %+v vs %+v (err %v)", spec, cfg, again, err)
+		}
+		// The defaulted config must stay valid and the injector usable.
+		inj := New(cfg)
+		if ierr := inj.Config().Validate(); ierr != nil {
+			t.Fatalf("defaulted config invalid for %q: %v", spec, ierr)
+		}
+		_ = inj.Machine(0).Next()
+	})
+}

@@ -33,6 +33,7 @@ import (
 	"math"
 	"sort"
 
+	"itsim/internal/chaos"
 	"itsim/internal/core"
 	"itsim/internal/fault"
 	"itsim/internal/machine"
@@ -94,6 +95,15 @@ type Config struct {
 	// i runs with the seed mixed by i so the fleet sees decorrelated
 	// fault schedules.
 	Fault fault.Config
+	// Chaos configures machine-level chaos injection: crash/restart
+	// windows, brownouts, and flapping, applied as timed machine-state
+	// transitions. The zero value injects nothing and is byte-inert.
+	Chaos chaos.Config
+	// ShedDepth enables priority-aware load shedding: once the fleet's
+	// total queued-request count reaches it, arriving requests from any
+	// tenant below the highest configured priority are rejected.
+	// 0 disables shedding.
+	ShedDepth int
 	// SpinBudget bounds synchronous fault waits on every machine
 	// (0 = unbounded).
 	SpinBudget sim.Time
@@ -144,6 +154,12 @@ func (c *Config) Validate() error {
 	}
 	if err := c.Fault.Validate(); err != nil {
 		return err
+	}
+	if err := c.Chaos.Validate(); err != nil {
+		return err
+	}
+	if c.ShedDepth < 0 {
+		return fmt.Errorf("cluster: shed depth must be >= 0, got %d", c.ShedDepth)
 	}
 	if c.SpinBudget < 0 {
 		return fmt.Errorf("cluster: spin budget must be >= 0, got %v", c.SpinBudget)
@@ -219,7 +235,9 @@ func (c *Config) specFor(ti, seq int) (machine.ProcessSpec, workload.Profile) {
 	}, prof
 }
 
-// request is one serving request's lifecycle record.
+// request is one serving request's lifecycle record. A request resolves
+// exactly once: completed (done), shed at admission, or failed after
+// exhausting its deadline + retries.
 type request struct {
 	id         int // global id in arrival order
 	tenant     int // tenant index
@@ -229,6 +247,17 @@ type request struct {
 	completion sim.Time
 	syncWait   sim.Time
 	done       bool
+
+	// Resilience lifecycle (all inert without deadlines/hedging/chaos:
+	// one attempt, resolved at its completion).
+	resolved   bool
+	shed       bool
+	failed     bool
+	hedged     bool
+	hedgeWin   bool
+	dispatches int // primary + retries (hedges excluded): the backoff exponent
+	live       int // non-cancelled, unfinished attempts in flight
+	attempts   []*attempt
 }
 
 // buildRequests materializes every tenant's open-loop arrival sequence and
@@ -267,13 +296,23 @@ func (c *Config) buildRequests() []*request {
 // machineState is one fleet machine's coordinator-side state.
 type machineState struct {
 	id    int
-	queue []*request
+	queue []*attempt
 	// running is the epoch in flight (nil when idle); epochRun its
-	// already-computed metrics, epochStart/busyUntil its fleet-time span.
-	running    []*request
+	// already-computed metrics, epochStart/busyUntil its fleet-time span,
+	// epochMult the chaos slowdown it runs under (1 when healthy).
+	running    []*attempt
 	epochRun   *metrics.Run
 	epochStart sim.Time
 	busyUntil  sim.Time
+	epochMult  float64
+
+	// Resilience state: Healthy with health 1.0 and no schedule in a
+	// chaos-free fleet.
+	state      machState
+	stateUntil sim.Time
+	downSince  sim.Time
+	sched      *chaos.Schedule
+	health     float64
 
 	stats metrics.MachineStats
 }
@@ -299,17 +338,35 @@ func Run(cfg Config) (*Result, error) {
 	f := &fleet{cfg: &cfg, router: router}
 	f.machines = make([]*machineState, cfg.Machines)
 	for i := range f.machines {
-		f.machines[i] = &machineState{id: i}
+		f.machines[i] = &machineState{id: i, health: healthInitialScore, stateUntil: never, epochMult: 1}
 		f.machines[i].stats.ID = i
 	}
+	f.loads = make([]Load, cfg.Machines)
+	f.tAccs = make([]tenantAcc, len(cfg.Tenants))
+	f.trackers = make([]*workload.QuantileTracker, len(cfg.Tenants))
+	for ti, t := range cfg.Tenants {
+		if t.Priority > f.maxPrio {
+			f.maxPrio = t.Priority
+		}
+		if t.Hedge {
+			f.trackers[ti] = workload.NewQuantileTracker(
+				workload.DefaultQuantileWindow, workload.DefaultQuantileMinSamples)
+		}
+	}
+	f.chaosSchedules()
 	reqs := f.cfg.buildRequests()
 
-	arrIdx, completed := 0, 0
-	loads := make([]Load, cfg.Machines)
-	for completed < len(reqs) {
-		// Earliest epoch completion across busy machines, and the next
-		// arrival instant.
-		tc, ta := never, never
+	arrIdx := 0
+	for f.resolved < len(reqs) {
+		// Earliest pending instant per event class: epoch completions,
+		// machine-state transitions (chaos windows / timed state ends),
+		// lifecycle timers (timeouts, retries, hedges), arrivals. At one
+		// instant the classes process in that priority order — machines
+		// free up and change state before requests are routed. In a
+		// chaos-free, deadline-free fleet tx and tt are always never and
+		// the loop degenerates to the historical completions/arrivals
+		// alternation exactly.
+		tc, tx, tt, ta := never, f.nextChaos(), f.nextTimer(), never
 		for _, m := range f.machines {
 			if m.running != nil && m.busyUntil < tc {
 				tc = m.busyUntil
@@ -318,21 +375,35 @@ func Run(cfg Config) (*Result, error) {
 		if arrIdx < len(reqs) {
 			ta = reqs[arrIdx].arrival
 		}
-		if tc == never && ta == never {
-			// Unreachable: requests still incomplete yet no machine is
-			// busy and none remain to arrive — every queued request
-			// would have started an epoch below.
-			return nil, fmt.Errorf("cluster: stalled with %d requests incomplete", len(reqs)-completed)
+		now := tc
+		if tx < now {
+			now = tx
 		}
-		if tc <= ta {
-			// Completions first: machines free up before simultaneous
-			// arrivals are routed, in machine-id order.
+		if tt < now {
+			now = tt
+		}
+		if ta < now {
+			now = ta
+		}
+		if now == never {
+			// Unreachable: requests still unresolved yet nothing is
+			// pending — every queued request would have started an epoch
+			// below.
+			return nil, fmt.Errorf("cluster: stalled with %d requests unresolved", len(reqs)-f.resolved)
+		}
+		switch {
+		case tc == now:
+			// Completions first, in machine-id order.
 			for _, m := range f.machines {
-				if m.running != nil && m.busyUntil == tc {
-					completed += f.finishEpoch(m)
+				if m.running != nil && m.busyUntil == now {
+					f.finishEpoch(m)
 				}
 			}
-		} else {
+		case tx == now:
+			f.stepChaos(now)
+		case tt == now:
+			f.fireTimers(now)
+		default:
 			for arrIdx < len(reqs) && reqs[arrIdx].arrival == ta {
 				r := reqs[arrIdx]
 				arrIdx++
@@ -340,30 +411,18 @@ func Run(cfg Config) (*Result, error) {
 					f.emit(obs.Event{Time: r.arrival, Type: obs.EvRequestArrive, PID: -1,
 						Value: int64(r.id), Cause: cfg.Tenants[r.tenant].Name})
 				}
-				for i, m := range f.machines {
-					loads[i] = Load{ID: m.id, Queued: len(m.queue), Running: len(m.running)}
+				if !f.admit(r) {
+					continue
 				}
-				pick := f.router.Pick(r.tenant, loads)
-				if pick < 0 || pick >= len(f.machines) {
-					return nil, fmt.Errorf("cluster: router %s picked machine %d of %d",
-						f.router.Name(), pick, len(f.machines))
-				}
-				r.machine = pick
-				f.machines[pick].queue = append(f.machines[pick].queue, r)
-				if f.want(obs.EvRequestRoute) {
-					f.emit(obs.Event{Time: r.arrival, Type: obs.EvRequestRoute, PID: -1,
-						Core: pick, Value: int64(r.id), Cause: cfg.Tenants[r.tenant].Name})
-				}
+				f.dispatch(r, false, now)
+				f.armHedge(r, now)
 			}
 		}
-		// Idle machines with queued work start epochs at the current
-		// fleet instant, in id order.
-		now := tc
-		if ta < tc {
-			now = ta
-		}
+		// Re-place parked work once possible, then start epochs on idle
+		// eligible machines with queued work, in id order.
+		f.dispatchParked(now)
 		for _, m := range f.machines {
-			if m.running == nil && len(m.queue) > 0 {
+			if m.running == nil && len(m.queue) > 0 && m.eligible() {
 				if err := f.startEpoch(m, now); err != nil {
 					return nil, err
 				}
@@ -380,6 +439,17 @@ type fleet struct {
 	router   Router
 	machines []*machineState
 	epochs   []*metrics.Run
+	loads    []Load
+
+	// Resilience state (see resilience.go).
+	chaosCfg chaos.Config // effective (defaulted) chaos knobs
+	timers   timerHeap
+	timerSeq uint64
+	parked   []*attempt
+	trackers []*workload.QuantileTracker
+	tAccs    []tenantAcc
+	maxPrio  int
+	resolved int
 }
 
 func (f *fleet) want(t obs.Type) bool { return f.cfg.Tracer.Wants(t) }
@@ -400,10 +470,11 @@ func (f *fleet) startEpoch(m *machineState, now sim.Time) error {
 	specs := make([]machine.ProcessSpec, n)
 	counts := make([]int, len(f.cfg.Tenants))
 	dataIntensive := 0
-	for i, r := range batch {
-		spec, prof := f.cfg.specFor(r.tenant, r.seq)
+	for i, a := range batch {
+		a.running = true
+		spec, prof := f.cfg.specFor(a.req.tenant, a.req.seq)
 		specs[i] = spec
-		counts[r.tenant]++
+		counts[a.req.tenant]++
 		if prof.Class == workload.DataIntensive {
 			dataIntensive++
 		}
@@ -424,7 +495,8 @@ func (f *fleet) startEpoch(m *machineState, now sim.Time) error {
 	m.running = batch
 	m.epochRun = run
 	m.epochStart = now
-	m.busyUntil = now + run.Makespan
+	m.epochMult = f.currentMult(m)
+	m.busyUntil = now + scaleTime(run.Makespan, m.epochMult)
 	m.stats.Epochs++
 	m.stats.Requests += uint64(n)
 	f.epochs = append(f.epochs, run)
@@ -432,28 +504,49 @@ func (f *fleet) startEpoch(m *machineState, now sim.Time) error {
 }
 
 // finishEpoch applies an eagerly-executed epoch's results at its fleet
-// completion time, returning how many requests finished.
-func (f *fleet) finishEpoch(m *machineState) int {
+// completion time. The first attempt to complete resolves its request;
+// cancelled attempts (timed out, or losers of a hedge race) are wasted
+// machine work and resolve nothing. A Draining machine whose epoch just
+// finished goes Down.
+func (f *fleet) finishEpoch(m *machineState) {
 	run := m.epochRun
-	for i, r := range m.running {
+	for i, a := range m.running {
+		a.running = false
+		a.finished = true
+		r := a.req
+		if a.cancelled || r.resolved {
+			continue
+		}
 		p := run.Procs[i]
-		r.completion = m.epochStart + p.FinishTime
+		r.completion = m.epochStart + scaleTime(p.FinishTime, m.epochMult)
 		r.syncWait = p.StorageWait
 		r.done = p.Finished
+		r.machine = m.id
+		r.hedgeWin = a.hedge
+		if a.hedge {
+			f.tAccs[r.tenant].hedgeWins++
+		}
+		f.resolve(r, a)
+		if tr := f.trackers[r.tenant]; tr != nil && r.done {
+			tr.Observe(r.completion - r.arrival)
+		}
 		if f.want(obs.EvRequestDone) {
 			f.emit(obs.Event{Time: r.completion, Type: obs.EvRequestDone, PID: -1,
 				Core: m.id, Value: int64(r.id), Dur: r.completion - r.arrival,
 				Cause: f.cfg.Tenants[r.tenant].Name})
 		}
 	}
-	n := len(m.running)
-	m.stats.BusyNs += int64(run.Makespan)
+	m.stats.BusyNs += int64(m.busyUntil - m.epochStart)
 	m.stats.WaitingNs += int64(run.TotalIdle())
 	m.stats.StolenNs += int64(run.TotalStolen())
 	m.stats.MajorFaults += run.TotalMajorFaults()
 	m.stats.DemotedWaits += run.TotalDemotions()
+	m.health = healthDecay*m.health + (1-healthDecay)*(1/m.epochMult)
 	m.running, m.epochRun = nil, nil
-	return n
+	if m.state == stateDraining {
+		f.goDown(m, m.busyUntil, "flap")
+	}
+	m.epochMult = 1
 }
 
 // result assembles the fleet summary from the completed requests.
@@ -478,9 +571,16 @@ func (f *fleet) result(reqs []*request) *Result {
 			latency:  metrics.NewWideLatencyHistogram(),
 			syncWait: metrics.NewWideLatencyHistogram(),
 			ts: metrics.TenantStats{
-				Name:  t.Name,
-				Bench: t.Bench,
-				SLONs: int64(t.SLO),
+				Name:       t.Name,
+				Bench:      t.Bench,
+				SLONs:      int64(t.SLO),
+				DeadlineNs: int64(t.Deadline),
+				TimedOut:   f.tAccs[i].timedOut,
+				Retries:    f.tAccs[i].retries,
+				Hedges:     f.tAccs[i].hedges,
+				HedgeWins:  f.tAccs[i].hedgeWins,
+				Shed:       f.tAccs[i].shed,
+				Failed:     f.tAccs[i].failed,
 			},
 		}
 	}
@@ -535,13 +635,37 @@ func (f *fleet) result(reqs []*request) *Result {
 	}
 
 	for _, m := range f.machines {
-		m.stats.IdleNs = sum.MakespanNs - m.stats.BusyNs
+		if m.state == stateDown && sum.MakespanNs > int64(m.downSince) {
+			// Still out of service when the run ends: charge the
+			// remaining downtime inside the fleet makespan.
+			m.stats.DownNs += sum.MakespanNs - int64(m.downSince)
+		}
+		m.stats.IdleNs = sum.MakespanNs - m.stats.BusyNs - m.stats.DownNs
 		if m.stats.IdleNs < 0 {
 			// The last epoch's makespan can outrun the final request
 			// completion (trailing scheduler idle inside the epoch).
 			m.stats.IdleNs = 0
 		}
 		sum.PerMachine = append(sum.PerMachine, m.stats)
+	}
+
+	if cfg.resilienceActive() {
+		cs := &metrics.ChaosStats{}
+		for _, m := range f.machines {
+			cs.Crashes += m.stats.Crashes
+			cs.Flaps += m.stats.Flaps
+			cs.Brownouts += m.stats.Brownouts
+			cs.Rehomed += m.stats.Rehomed
+		}
+		for _, a := range f.tAccs {
+			cs.Timeouts += a.timedOut
+			cs.Retries += a.retries
+			cs.Hedges += a.hedges
+			cs.HedgeWins += a.hedgeWins
+			cs.Shed += a.shed
+			cs.Failed += a.failed
+		}
+		sum.Chaos = cs
 	}
 
 	return &Result{Summary: sum, Epochs: f.epochs}

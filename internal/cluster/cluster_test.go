@@ -191,7 +191,7 @@ func TestRoundRobinRouter(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	loads := []Load{{ID: 0}, {ID: 1}, {ID: 2}}
+	loads := []Load{{ID: 0, Eligible: true}, {ID: 1, Eligible: true}, {ID: 2, Eligible: true}}
 	for i, want := range []int{0, 1, 2, 0, 1} {
 		if got := r.Pick(0, loads); got != want {
 			t.Errorf("pick %d = %d, want %d", i, got, want)
@@ -205,9 +205,9 @@ func TestLeastLoadedRouter(t *testing.T) {
 		t.Fatal(err)
 	}
 	loads := []Load{
-		{ID: 0, Queued: 2, Running: 1},
-		{ID: 1, Queued: 0, Running: 2},
-		{ID: 2, Queued: 1, Running: 1},
+		{ID: 0, Queued: 2, Running: 1, Eligible: true},
+		{ID: 1, Queued: 0, Running: 2, Eligible: true},
+		{ID: 2, Queued: 1, Running: 1, Eligible: true},
 	}
 	if got := r.Pick(0, loads); got != 1 {
 		t.Errorf("pick = %d, want 1 (lowest in-flight)", got)
@@ -222,15 +222,123 @@ func TestLeastLoadedRouter(t *testing.T) {
 	}
 }
 
+// TestLeastLoadedTieBreakOrder pins the tie-break contract explicitly:
+// among equally-loaded eligible machines the lowest machine id wins,
+// whatever order ties appear in — health-score integration must not
+// perturb this base case.
+func TestLeastLoadedTieBreakOrder(t *testing.T) {
+	r, err := NewRouter(LeastLoaded, 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := []Load{
+		{ID: 0, Queued: 1, Eligible: true},
+		{ID: 1, Queued: 1, Eligible: true},
+		{ID: 2, Queued: 1, Eligible: true},
+		{ID: 3, Queued: 1, Eligible: true},
+	}
+	if got := r.Pick(0, all); got != 0 {
+		t.Errorf("all-tie pick = %d, want 0 (lowest id)", got)
+	}
+	// Partial tie at the minimum: 1 and 3 tie below 0 and 2.
+	partial := []Load{
+		{ID: 0, Queued: 2, Eligible: true},
+		{ID: 1, Queued: 1, Eligible: true},
+		{ID: 2, Queued: 2, Eligible: true},
+		{ID: 3, Queued: 1, Eligible: true},
+	}
+	if got := r.Pick(0, partial); got != 1 {
+		t.Errorf("partial-tie pick = %d, want 1 (lowest id at the minimum)", got)
+	}
+}
+
+// TestLocalityColdFallback pins the locality router's cold path: with no
+// warmth recorded anywhere the router must defer to least-loaded placement
+// (including its lowest-id tie-break), not pick machine 0 by accident.
+func TestLocalityColdFallback(t *testing.T) {
+	r, err := NewRouter(PageLocality, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := []Load{
+		{ID: 0, Queued: 4, Eligible: true},
+		{ID: 1, Queued: 2, Eligible: true},
+		{ID: 2, Queued: 1, Eligible: true},
+	}
+	if got := r.Pick(0, loads); got != 2 {
+		t.Errorf("cold pick = %d, want 2 (least loaded)", got)
+	}
+	loads[2].Queued = 2 // 1 and 2 tie: lowest id
+	if got := r.Pick(0, loads); got != 1 {
+		t.Errorf("cold tie pick = %d, want 1", got)
+	}
+}
+
+// TestRoutersSkipIneligible: every router must route around Down/Draining
+// machines.
+func TestRoutersSkipIneligible(t *testing.T) {
+	for _, name := range RouterNames() {
+		r, err := NewRouter(name, 3, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loads := []Load{
+			{ID: 0, Eligible: false, Health: 1},
+			{ID: 1, Queued: 5, Eligible: true, Health: 1},
+			{ID: 2, Queued: 9, Eligible: false, Health: 1},
+		}
+		for i := 0; i < 4; i++ {
+			if got := r.Pick(0, loads); got != 1 {
+				t.Errorf("%s: pick %d = %d, want 1 (only eligible machine)", name, i, got)
+			}
+		}
+	}
+}
+
+// TestHealthRouter: the health-aware router prefers healthy machines,
+// degenerates to least-loaded when health is uniform, and breaks ties by
+// lowest id.
+func TestHealthRouter(t *testing.T) {
+	r, err := NewRouter(HealthAware, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniform := []Load{
+		{ID: 0, Queued: 2, Health: 1, Eligible: true},
+		{ID: 1, Queued: 1, Health: 1, Eligible: true},
+		{ID: 2, Queued: 2, Health: 1, Eligible: true},
+	}
+	if got := r.Pick(0, uniform); got != 1 {
+		t.Errorf("uniform-health pick = %d, want 1 (least loaded)", got)
+	}
+	sick := []Load{
+		{ID: 0, Queued: 1, Health: 0.2, Eligible: true},
+		{ID: 1, Queued: 2, Health: 1, Eligible: true},
+		{ID: 2, Queued: 4, Health: 1, Eligible: true},
+	}
+	// 0 scores 0.1, 1 scores 1/3, 2 scores 0.2: load is forgiven before
+	// sickness is.
+	if got := r.Pick(0, sick); got != 1 {
+		t.Errorf("sick pick = %d, want 1", got)
+	}
+	tie := []Load{
+		{ID: 0, Queued: 1, Health: 0.5, Eligible: true},
+		{ID: 1, Queued: 1, Health: 0.5, Eligible: true},
+	}
+	if got := r.Pick(0, tie); got != 0 {
+		t.Errorf("tie pick = %d, want 0 (lowest id)", got)
+	}
+}
+
 func TestLocalityRouter(t *testing.T) {
 	r, err := NewRouter(PageLocality, 3, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	loads := []Load{
-		{ID: 0, Queued: 5},
-		{ID: 1},
-		{ID: 2},
+		{ID: 0, Queued: 5, Eligible: true},
+		{ID: 1, Eligible: true},
+		{ID: 2, Eligible: true},
 	}
 	// Cold start: fall back to least-loaded (machine 1, lowest id among
 	// the in-flight-0 tie).

@@ -18,6 +18,8 @@ const (
 	MaxRequestsPerTenant = 100_000
 	// MaxTenants bounds the number of tenants per fleet.
 	MaxTenants = 64
+	// MaxRetries bounds one request's re-submission budget.
+	MaxRetries = 16
 )
 
 // DefaultTenantScale is the per-request workload scale when a tenant spec
@@ -55,6 +57,17 @@ type TenantSpec struct {
 	// Seed overrides the benchmark profile's pinned seed as the base of
 	// the tenant's per-request trace seeds; 0 keeps the profile seed.
 	Seed uint64
+	// Deadline is the per-attempt timeout: an attempt not completed
+	// within it is cancelled (its machine keeps the wasted work) and the
+	// request retries or fails. 0 = attempts never time out.
+	Deadline sim.Time
+	// Retries is how many re-submissions a timed-out request gets before
+	// it is marked failed; meaningful only with a Deadline.
+	Retries int
+	// Hedge enables hedged requests: once the tenant's observed p99
+	// latency is known, a duplicate attempt dispatches after that delay
+	// and the first completion wins (the loser is cancelled).
+	Hedge bool
 }
 
 // Validate rejects nonsensical tenant parameters. It is the user-input
@@ -91,6 +104,15 @@ func (t TenantSpec) Validate() error {
 	if t.SLO < 0 {
 		return fmt.Errorf("cluster: tenant %s: slo must be >= 0, got %v", t.Name, t.SLO)
 	}
+	if t.Deadline < 0 {
+		return fmt.Errorf("cluster: tenant %s: deadline must be >= 0, got %v", t.Name, t.Deadline)
+	}
+	if t.Retries < 0 || t.Retries > MaxRetries {
+		return fmt.Errorf("cluster: tenant %s: retries must be in [0,%d], got %d", t.Name, MaxRetries, t.Retries)
+	}
+	if t.Retries > 0 && t.Deadline == 0 {
+		return fmt.Errorf("cluster: tenant %s: retries require a deadline", t.Name)
+	}
 	return nil
 }
 
@@ -111,9 +133,11 @@ func (t TenantSpec) scale(global float64) float64 {
 // ';', each a comma-separated list of key=value pairs. Keys: name, bench,
 // rate (req/s), requests (alias req), prio, scale, pattern
 // (steady/diurnal/bursty/multiperiod), period (Go duration), amp, slo (Go
-// duration), seed. Omitted keys default to: name "t<index>", bench
-// "caffe", rate 0 (burst at t = 0), requests 8, prio 1, scale
-// DefaultTenantScale, pattern steady, period 2ms, amp 0.5, slo 0, seed 0.
+// duration), seed, deadline (Go duration, per-attempt timeout), retries
+// (re-submissions after timeouts), hedge (bool). Omitted keys default to:
+// name "t<index>", bench "caffe", rate 0 (burst at t = 0), requests 8,
+// prio 1, scale DefaultTenantScale, pattern steady, period 2ms, amp 0.5,
+// slo 0, seed 0, deadline 0 (no timeout), retries 0, hedge false.
 // Every parsed tenant is validated and names must be unique.
 func ParseTenantSpec(spec string) ([]TenantSpec, error) {
 	spec = strings.TrimSpace(spec)
@@ -174,6 +198,12 @@ func ParseTenantSpec(spec string) ([]TenantSpec, error) {
 				t.SLO, err = parseDuration(val)
 			case "seed":
 				t.Seed, err = strconv.ParseUint(val, 0, 64)
+			case "deadline":
+				t.Deadline, err = parseDuration(val)
+			case "retries":
+				t.Retries, err = strconv.Atoi(val)
+			case "hedge":
+				t.Hedge, err = strconv.ParseBool(val)
 			default:
 				return nil, fmt.Errorf("cluster: unknown tenant key %q", key)
 			}

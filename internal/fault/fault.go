@@ -21,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"itsim/internal/chaos"
 	"itsim/internal/prng"
 	"itsim/internal/sim"
 )
@@ -82,33 +83,24 @@ func (c Config) Enabled() bool {
 // Validate rejects configs that are nonsensical rather than merely
 // incomplete (New applies defaults for the latter). It is the user-input
 // gate for the CLIs; programmatic callers may rely on New's clamping.
+// The bounds checks are the shared helpers from internal/chaos, so both
+// injector grammars reject out-of-range input (probabilities above 1,
+// NaN, negatives) with identical semantics.
 func (c Config) Validate() error {
-	check := func(name string, p float64) error {
-		if p < 0 || p > 1 {
-			return fmt.Errorf("fault: %s must be in [0,1], got %v", name, p)
+	for _, check := range []error{
+		chaos.CheckProb("fault: tail probability", c.TailProb),
+		chaos.CheckProb("fault: stall probability", c.StallProb),
+		chaos.CheckProb("fault: dma-failure probability", c.DMAFailProb),
+		chaos.CheckMult("fault: tail multiplier", c.TailMult),
+		chaos.CheckDur("fault: stall window", c.StallWindow),
+		chaos.CheckDur("fault: retry backoff", c.RetryBackoff),
+	} {
+		if check != nil {
+			return check
 		}
-		return nil
-	}
-	if err := check("tail probability", c.TailProb); err != nil {
-		return err
-	}
-	if err := check("stall probability", c.StallProb); err != nil {
-		return err
-	}
-	if err := check("dma-failure probability", c.DMAFailProb); err != nil {
-		return err
-	}
-	if c.TailMult != 0 && c.TailMult < 1 {
-		return fmt.Errorf("fault: tail multiplier must be >= 1, got %v", c.TailMult)
-	}
-	if c.StallWindow < 0 {
-		return fmt.Errorf("fault: stall window must be >= 0, got %v", c.StallWindow)
 	}
 	if c.RetryMax < 0 {
 		return fmt.Errorf("fault: retry max must be >= 0, got %d", c.RetryMax)
-	}
-	if c.RetryBackoff < 0 {
-		return fmt.Errorf("fault: retry backoff must be >= 0, got %v", c.RetryBackoff)
 	}
 	return nil
 }

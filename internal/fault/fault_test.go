@@ -1,6 +1,7 @@
 package fault
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -130,7 +131,12 @@ func TestValidate(t *testing.T) {
 		{"negative tail prob", Config{TailProb: -0.1}, false},
 		{"tail prob above one", Config{TailProb: 1.1}, false},
 		{"negative stall prob", Config{StallProb: -1}, false},
+		{"stall prob above one", Config{StallProb: 1.5}, false},
 		{"negative dma prob", Config{DMAFailProb: -0.5}, false},
+		{"dma prob above one", Config{DMAFailProb: 2}, false},
+		{"nan tail prob", Config{TailProb: math.NaN()}, false},
+		{"inf stall prob", Config{StallProb: math.Inf(1)}, false},
+		{"nan tail mult", Config{TailProb: 0.1, TailMult: math.NaN()}, false},
 		{"tail mult below one", Config{TailMult: 0.5}, false},
 		{"negative stall window", Config{StallWindow: -1}, false},
 		{"negative retry max", Config{RetryMax: -1}, false},

@@ -27,6 +27,24 @@ type TenantStats struct {
 	// SyncWait is the distribution of per-request synchronous storage
 	// busy-wait (the paper's stolen-or-wasted window), summed per request.
 	SyncWait HistogramSnapshot `json:"sync_wait"`
+	// DeadlineNs is the tenant's per-request deadline in nanoseconds; 0
+	// means requests never time out. All resilience counters below are
+	// omitempty so deadline-free, chaos-free runs keep their historical
+	// byte layout.
+	DeadlineNs int64 `json:"deadline_ns,omitempty"`
+	// TimedOut counts attempt timeouts (one request can time out several
+	// times across retries); Retries counts re-submissions after them.
+	TimedOut uint64 `json:"timed_out,omitempty"`
+	Retries  uint64 `json:"retries,omitempty"`
+	// Hedges counts hedged duplicate dispatches; HedgeWins how many
+	// requests the hedge finished first.
+	Hedges    uint64 `json:"hedges,omitempty"`
+	HedgeWins uint64 `json:"hedge_wins,omitempty"`
+	// Shed counts requests rejected at admission by priority-aware load
+	// shedding; Failed counts requests that exhausted deadline + retries.
+	// Neither is included in Completed.
+	Shed   uint64 `json:"shed,omitempty"`
+	Failed uint64 `json:"failed,omitempty"`
 }
 
 // MachineStats digests one machine's activity over a fleet run.
@@ -51,6 +69,17 @@ type MachineStats struct {
 	// DemotedWaits counts spin-budget demotions under fault injection;
 	// omitted when zero so healthy-device summaries stay compact.
 	DemotedWaits uint64 `json:"demoted_waits,omitempty"`
+	// Chaos accounting, all omitempty so chaos-free fleets keep their
+	// historical byte layout. Crashes/Flaps/Brownouts count windows that
+	// actually hit this machine; DownNs is time spent out of service
+	// (crashed, flapped off, or rejoining cache-cold counts as in
+	// service); Rehomed counts requests moved off this machine's queue by
+	// a crash or drain.
+	Crashes   uint64 `json:"crashes,omitempty"`
+	Flaps     uint64 `json:"flaps,omitempty"`
+	Brownouts uint64 `json:"brownouts,omitempty"`
+	DownNs    int64  `json:"down_ns,omitempty"`
+	Rehomed   uint64 `json:"rehomed,omitempty"`
 }
 
 // FleetSummary is the JSON-serializable digest of one cluster run.
@@ -75,4 +104,30 @@ type FleetSummary struct {
 	// Injection aggregates fault-injector activity across machines; nil
 	// (and omitted) when no injector was attached.
 	Injection *InjectionStats `json:"fault_injection,omitempty"`
+	// Chaos aggregates machine-level chaos and request-lifecycle
+	// resilience activity across the fleet; nil (and omitted) when no
+	// chaos was injected and no tenant used deadlines/hedging, so
+	// historical fleet output is byte-identical.
+	Chaos *ChaosStats `json:"chaos,omitempty"`
+}
+
+// ChaosStats aggregates fleet resilience activity: machine-level chaos
+// windows that hit, and the request-lifecycle reactions to them.
+type ChaosStats struct {
+	// Crashes / Flaps / Brownouts count machine windows that applied
+	// (windows dropped against an ineligible state are not counted).
+	Crashes   uint64 `json:"crashes"`
+	Flaps     uint64 `json:"flaps"`
+	Brownouts uint64 `json:"brownouts"`
+	// Rehomed counts requests deterministically moved to another machine
+	// after a crash or drain.
+	Rehomed uint64 `json:"rehomed"`
+	// Timeouts / Retries / Hedges / HedgeWins / Shed / Failed sum the
+	// per-tenant resilience counters.
+	Timeouts  uint64 `json:"timeouts"`
+	Retries   uint64 `json:"retries"`
+	Hedges    uint64 `json:"hedges"`
+	HedgeWins uint64 `json:"hedge_wins"`
+	Shed      uint64 `json:"shed"`
+	Failed    uint64 `json:"failed"`
 }

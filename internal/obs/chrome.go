@@ -210,6 +210,30 @@ func (c *Chrome) Write(ev Event) {
 	case EvRequestDone:
 		c.instant(ev, c.thread(tidFleet, "fleet:requests"), "request-done",
 			map[string]any{"req": ev.Value, "tenant": ev.Cause, "machine": ev.Core, "latency_ns": int64(ev.Dur)})
+	case EvMachineDown:
+		c.instant(ev, c.thread(tidFleet, "fleet:machines"), "machine-down",
+			map[string]any{"machine": ev.Core, "kind": ev.Cause, "down_ns": int64(ev.Dur)})
+	case EvMachineUp:
+		c.instant(ev, c.thread(tidFleet, "fleet:machines"), "machine-up",
+			map[string]any{"machine": ev.Core, "kind": ev.Cause})
+	case EvMachineDrain:
+		c.instant(ev, c.thread(tidFleet, "fleet:machines"), "machine-drain",
+			map[string]any{"machine": ev.Core})
+	case EvMachineDegrade:
+		c.instant(ev, c.thread(tidFleet, "fleet:machines"), "machine-degrade",
+			map[string]any{"machine": ev.Core, "window_ns": int64(ev.Dur), "mult_x1000": ev.Value})
+	case EvReqTimeout:
+		c.instant(ev, c.thread(tidFleet, "fleet:requests"), "request-timeout",
+			map[string]any{"req": ev.Value, "tenant": ev.Cause, "machine": ev.Core, "deadline_ns": int64(ev.Dur)})
+	case EvReqRetry:
+		c.instant(ev, c.thread(tidFleet, "fleet:requests"), "request-retry",
+			map[string]any{"req": ev.Value, "tenant": ev.Cause, "backoff_ns": int64(ev.Dur)})
+	case EvReqHedge:
+		c.instant(ev, c.thread(tidFleet, "fleet:requests"), "request-hedge",
+			map[string]any{"req": ev.Value, "tenant": ev.Cause, "delay_ns": int64(ev.Dur)})
+	case EvReqShed:
+		c.instant(ev, c.thread(tidFleet, "fleet:requests"), "request-shed",
+			map[string]any{"req": ev.Value, "tenant": ev.Cause})
 	case EvGauge:
 		c.put(chromeEvent{Name: ev.Cause, Ph: "C", Ts: us(int64(ev.Time)), PID: c.run, TID: 0,
 			Args: map[string]any{"value": ev.Value}})

@@ -128,6 +128,36 @@ const (
 	// EvRequestDone is a request completing (Value = request id, Core =
 	// machine id, Dur = end-to-end latency, Cause = tenant name).
 	EvRequestDone
+	// EvMachineDown is a fleet machine leaving service (Core = machine id,
+	// Dur = scheduled downtime, Cause = "crash" or "flap"). A crash kills
+	// the machine's in-flight epoch; queued requests re-home.
+	EvMachineDown
+	// EvMachineUp is a fleet machine returning to service (Core = machine
+	// id, Cause = "rejoin" after downtime — entering the cache-cold
+	// warm-up window — or "brownout-end" when a degraded window closes).
+	EvMachineUp
+	// EvMachineDrain is a fleet machine starting a graceful drain (Core =
+	// machine id): it finishes its in-flight epoch, takes nothing new,
+	// and its queued requests re-home immediately.
+	EvMachineDrain
+	// EvMachineDegrade is a brownout window opening on a machine (Core =
+	// machine id, Dur = window length, Value = slowdown multiplier ×1000).
+	EvMachineDegrade
+	// EvReqTimeout is a request attempt exceeding its tenant deadline
+	// (Value = request id, Core = machine the attempt was placed on, Dur =
+	// the deadline, Cause = tenant name).
+	EvReqTimeout
+	// EvReqRetry is a timed-out request being re-submitted (Value =
+	// request id, Dur = the backoff delay that preceded it, Cause = tenant
+	// name).
+	EvReqRetry
+	// EvReqHedge is a hedged duplicate attempt being dispatched after the
+	// tenant's p99-derived delay (Value = request id, Dur = the hedge
+	// delay, Cause = tenant name).
+	EvReqHedge
+	// EvReqShed is a request rejected at admission by priority-aware load
+	// shedding (Value = request id, Cause = tenant name).
+	EvReqShed
 
 	// NumTypes is the number of event types (array sizing).
 	NumTypes
@@ -164,6 +194,14 @@ var typeNames = [NumTypes]string{
 	EvRequestArrive:    "RequestArrive",
 	EvRequestRoute:     "RequestRoute",
 	EvRequestDone:      "RequestDone",
+	EvMachineDown:      "MachineDown",
+	EvMachineUp:        "MachineUp",
+	EvMachineDrain:     "MachineDrain",
+	EvMachineDegrade:   "MachineDegrade",
+	EvReqTimeout:       "ReqTimeout",
+	EvReqRetry:         "ReqRetry",
+	EvReqHedge:         "ReqHedge",
+	EvReqShed:          "ReqShed",
 }
 
 // String names the type as used in filters and JSONL output.

@@ -270,7 +270,9 @@ func (f *folder) fold(ev obs.Event) error {
 	case obs.EvMajorFaultBegin, obs.EvUnblock, obs.EvSliceExpiry, obs.EvPrefetchIssue,
 		obs.EvPrefetchDrop, obs.EvPrefetchHit, obs.EvSwapIn, obs.EvEvict, obs.EvWriteBack,
 		obs.EvGauge, obs.EvFaultInject, obs.EvIORetry, obs.EvDemote, obs.EvPrefetchThrottle,
-		obs.EvRequestArrive, obs.EvRequestRoute, obs.EvRequestDone:
+		obs.EvRequestArrive, obs.EvRequestRoute, obs.EvRequestDone,
+		obs.EvMachineDown, obs.EvMachineUp, obs.EvMachineDrain, obs.EvMachineDegrade,
+		obs.EvReqTimeout, obs.EvReqRetry, obs.EvReqHedge, obs.EvReqShed:
 		// Count-only: no CPU-time accounting rides on these.
 	case obs.EvRunBegin, obs.EvRunEnd:
 		// Handled above; listed to keep the switch exhaustive.
@@ -283,7 +285,9 @@ func (f *folder) fold(ev obs.Event) error {
 // frames (see internal/cluster).
 func fleetScope(t obs.Type) bool {
 	switch t {
-	case obs.EvRequestArrive, obs.EvRequestRoute, obs.EvRequestDone:
+	case obs.EvRequestArrive, obs.EvRequestRoute, obs.EvRequestDone,
+		obs.EvMachineDown, obs.EvMachineUp, obs.EvMachineDrain, obs.EvMachineDegrade,
+		obs.EvReqTimeout, obs.EvReqRetry, obs.EvReqHedge, obs.EvReqShed:
 		return true
 	default:
 		return false

@@ -90,13 +90,26 @@ func (r *Reader) Next() (ev obs.Event, ok bool, err error) {
 	if ev.Time < 0 || ev.Dur < 0 {
 		return obs.Event{}, false, fmt.Errorf("replay: line %d: negative time or duration", r.line)
 	}
-	if ev.Core < 0 {
+	if ev.Core < 0 && !(ev.Core == -1 && requestLifecycle(ev.Type)) {
 		return obs.Event{}, false, fmt.Errorf("replay: line %d: negative core id", r.line)
 	}
 	if ev.PID < -1 {
 		return obs.Event{}, false, fmt.Errorf("replay: line %d: invalid pid %d (machine scope is -1)", r.line, ev.PID)
 	}
 	return ev, true, nil
+}
+
+// requestLifecycle reports whether the kind describes a fleet request's
+// lifecycle, where Core carries the machine id and -1 means "no machine"
+// (the request timed out parked, was shed at admission, or retried before
+// placement).
+func requestLifecycle(t obs.Type) bool {
+	switch t {
+	case obs.EvReqTimeout, obs.EvReqRetry, obs.EvReqHedge, obs.EvReqShed:
+		return true
+	default:
+		return false
+	}
 }
 
 // Line returns the 1-based line number of the last event returned (the

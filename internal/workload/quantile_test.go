@@ -1,0 +1,79 @@
+package workload
+
+import (
+	"testing"
+
+	"itsim/internal/sim"
+)
+
+func TestQuantileTrackerReadyGate(t *testing.T) {
+	q := NewQuantileTracker(8, 4)
+	if q.Ready() {
+		t.Fatal("empty tracker reports Ready")
+	}
+	for i := 1; i <= 3; i++ {
+		q.Observe(sim.Time(i))
+	}
+	if q.Ready() {
+		t.Fatalf("Ready after %d of 4 warm-up samples", q.Samples())
+	}
+	q.Observe(4)
+	if !q.Ready() {
+		t.Fatal("not Ready at minSamples")
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	q := NewQuantileTracker(16, 1)
+	// Insert out of order: quantiles sort internally.
+	for _, v := range []sim.Time{50, 10, 40, 20, 30} {
+		q.Observe(v)
+	}
+	cases := []struct {
+		p    float64
+		want sim.Time
+	}{
+		{0, 10}, {0.25, 20}, {0.5, 30}, {0.75, 40}, {0.99, 50}, {1, 50},
+	}
+	for _, tc := range cases {
+		if got := q.Quantile(tc.p); got != tc.want {
+			t.Errorf("Quantile(%v) = %d, want %d", tc.p, got, tc.want)
+		}
+	}
+	// Quantile must not disturb the window order (scratch copy only).
+	if got := q.Quantile(0.5); got != 30 {
+		t.Errorf("repeated Quantile(0.5) = %d, want 30", got)
+	}
+}
+
+func TestQuantileSlidingWindow(t *testing.T) {
+	q := NewQuantileTracker(4, 1)
+	for i := 1; i <= 4; i++ {
+		q.Observe(sim.Time(i)) // window [1 2 3 4]
+	}
+	if got := q.Quantile(1); got != 4 {
+		t.Fatalf("max of full window = %d, want 4", got)
+	}
+	q.Observe(100) // evicts 1 → [100 2 3 4]
+	q.Observe(200) // evicts 2 → [100 200 3 4]
+	if got := q.Quantile(1); got != 200 {
+		t.Errorf("max after slide = %d, want 200", got)
+	}
+	if got := q.Quantile(0); got != 3 {
+		t.Errorf("min after slide = %d, want 3", got)
+	}
+	if q.Samples() != 4 {
+		t.Errorf("window grew beyond capacity: %d", q.Samples())
+	}
+}
+
+func TestQuantileEmptyAndTiny(t *testing.T) {
+	q := NewQuantileTracker(0, 0) // capacity clamps to 1
+	if got := q.Quantile(0.5); got != 0 {
+		t.Fatalf("empty tracker Quantile = %d, want 0", got)
+	}
+	q.Observe(7)
+	if got := q.Quantile(0.99); got != 7 {
+		t.Errorf("single-sample Quantile = %d, want 7", got)
+	}
+}
