@@ -13,7 +13,9 @@ import (
 // diffMain is the `itsbench diff` subcommand: it compares two -format json
 // documents and reports every metric that drifted beyond the tolerance —
 // the ROADMAP's regression check. Exit status: 0 when the documents agree,
-// 1 on drift, 2 on usage or read errors.
+// 1 on drift, 2 on usage or read errors, 3 when the documents carry
+// mismatched nonzero schema versions (a layout change, not drift; an
+// unversioned pre-versioning document compares with anything).
 //
 //	itsbench -exp all -format json > before.json
 //	# ...change the simulator...
@@ -46,6 +48,14 @@ func diffMain(args []string, out io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "itsbench diff:", err)
 		return 2
+	}
+	if oldDoc.SchemaVersion != 0 && newDoc.SchemaVersion != 0 &&
+		oldDoc.SchemaVersion != newDoc.SchemaVersion {
+		fmt.Fprintf(os.Stderr,
+			"itsbench diff: schema version mismatch: %s is v%d, %s is v%d; "+
+				"regenerate the older document before comparing\n",
+			fs.Arg(0), oldDoc.SchemaVersion, fs.Arg(1), newDoc.SchemaVersion)
+		return 3
 	}
 	drifts := diffDocs(oldDoc, newDoc, *tolerance)
 	drifts = append(drifts, diffPerf(oldDoc, newDoc, *tolerance, *perfTolerance)...)

@@ -258,3 +258,41 @@ func TestDiffUsageErrors(t *testing.T) {
 		t.Errorf("unreadable files: exit %d, want 2", code)
 	}
 }
+
+// TestDiffSchemaVersion: mismatched nonzero schema versions are a layout
+// change, not drift — exit 3 before any counter comparison; an unversioned
+// (pre-versioning) document compares with anything.
+func TestDiffSchemaVersion(t *testing.T) {
+	dir := t.TempDir()
+	docAt := func(v int) *jsonDoc {
+		d := testDoc()
+		d.SchemaVersion = v
+		return d
+	}
+	cases := []struct {
+		name     string
+		oldV     int
+		newV     int
+		wantCode int
+	}{
+		{"both current", docSchemaVersion, docSchemaVersion, 0},
+		{"mismatched nonzero", 1, 2, 3},
+		{"mismatched nonzero reversed", 2, 1, 3},
+		{"old unversioned", 0, docSchemaVersion, 0},
+		{"new unversioned", docSchemaVersion, 0, 0},
+		{"both unversioned", 0, 0, 0},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			a := writeDoc(t, dir, "old.json", docAt(tc.oldV))
+			b := writeDoc(t, dir, "new.json", docAt(tc.newV))
+			var out bytes.Buffer
+			if code := diffMain([]string{a, b}, &out); code != tc.wantCode {
+				t.Fatalf("exit %d, want %d; output:\n%s", code, tc.wantCode, out.String())
+			}
+			if tc.wantCode == 3 && strings.Contains(out.String(), "drifted") {
+				t.Errorf("version mismatch reported as drift:\n%s", out.String())
+			}
+		})
+	}
+}

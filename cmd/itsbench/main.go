@@ -116,12 +116,21 @@ func emit(t *report.Table, format string) error {
 	}
 }
 
+// docSchemaVersion is stamped into every -format json document. Bump it
+// when the document layout changes incompatibly; `itsbench diff` refuses
+// (exit 3) to compare documents with different nonzero versions instead of
+// mis-reporting the layout change as counter drift.
+const docSchemaVersion = 1
+
 // jsonDoc is the -format json output: one document holding every selected
 // experiment's data, with durations in virtual nanoseconds.
 type jsonDoc struct {
-	Scale       float64                 `json:"scale"`
-	Setup       map[string]string       `json:"setup,omitempty"`
-	Observation []core.ObservationPoint `json:"observation,omitempty"`
+	// SchemaVersion is docSchemaVersion at write time; 0 marks a document
+	// from before versioning and compares with anything.
+	SchemaVersion int                     `json:"schema_version,omitempty"`
+	Scale         float64                 `json:"scale"`
+	Setup         map[string]string       `json:"setup,omitempty"`
+	Observation   []core.ObservationPoint `json:"observation,omitempty"`
 	// Figures maps figure name → batch → policy → value (normalized for
 	// fig4a/fig5a/fig5b, raw unit counts for fig4b/fig4c).
 	Figures map[string]map[string]map[string]float64 `json:"figures,omitempty"`
@@ -186,7 +195,7 @@ func run(p params) error {
 
 	var doc *jsonDoc
 	if p.format == "json" {
-		doc = &jsonDoc{Scale: p.scale}
+		doc = &jsonDoc{SchemaVersion: docSchemaVersion, Scale: p.scale}
 	}
 
 	err = runExperiments(p.exp, needGrid, opts, p.format, doc)

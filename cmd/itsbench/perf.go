@@ -73,7 +73,7 @@ func perfMain(args []string, out io.Writer) int {
 		fs.Usage()
 		return 2
 	}
-	doc := &jsonDoc{Scale: *scale}
+	doc := &jsonDoc{SchemaVersion: docSchemaVersion, Scale: *scale}
 	b := workload.Batches()[1]
 	for _, cfg := range perfConfigs() {
 		start := time.Now()

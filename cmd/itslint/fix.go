@@ -1,0 +1,116 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"sort"
+)
+
+// fixMode runs the analyzers and applies their SuggestedFixes — byte-offset
+// splices carried through `go vet -json` — to the working tree. Idempotent:
+// once a site is rewritten its diagnostic is gone, so a second run is a
+// no-op. Overlapping edits are applied first-wins; the skipped ones are
+// reported so a re-run can pick them up against the new offsets.
+func fixMode(args []string) int {
+	fs := flag.NewFlagSet("itslint fix", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	pkgs := fs.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itslint:", err)
+		return 2
+	}
+	diags, err := vetJSON(exe, nil, pkgs, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itslint:", err)
+		return 2
+	}
+
+	// Gather edits per file, deduplicated — the same diagnostic can surface
+	// once per importing package.
+	perFile := make(map[string][]vetEdit)
+	seen := make(map[vetEdit]bool)
+	for _, d := range diags {
+		for _, f := range d.Fixes {
+			for _, e := range f.Edits {
+				if e.Filename == "" || seen[e] {
+					continue
+				}
+				seen[e] = true
+				perFile[e.Filename] = append(perFile[e.Filename], e)
+			}
+		}
+	}
+	files := make([]string, 0, len(perFile))
+	for f := range perFile {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+
+	applied, skipped, changed := 0, 0, 0
+	for _, file := range files {
+		n, s, err := applyEdits(file, perFile[file])
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "itslint fix: %s: %v\n", file, err)
+			return 2
+		}
+		applied += n
+		skipped += s
+		if n > 0 {
+			changed++
+		}
+	}
+	fmt.Fprintf(os.Stderr, "itslint fix: applied %d edits in %d files\n", applied, changed)
+	if skipped > 0 {
+		fmt.Fprintf(os.Stderr, "itslint fix: skipped %d overlapping or out-of-range edits; re-run to apply\n", skipped)
+	}
+	return 0
+}
+
+// applyEdits splices the edits into file, back to front so earlier byte
+// offsets stay valid, keeping the original permission bits.
+func applyEdits(file string, edits []vetEdit) (applied, skipped int, err error) {
+	sort.Slice(edits, func(i, j int) bool {
+		if edits[i].Start != edits[j].Start {
+			return edits[i].Start < edits[j].Start
+		}
+		return edits[i].End < edits[j].End
+	})
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return 0, 0, err
+	}
+	mode := fs.FileMode(0o644)
+	if info, err := os.Stat(file); err == nil {
+		mode = info.Mode().Perm()
+	}
+
+	// First-wins overlap resolution on the ascending order...
+	var kept []vetEdit
+	lastEnd := -1
+	for _, e := range edits {
+		if e.Start < lastEnd || e.Start < 0 || e.End < e.Start || e.End > len(data) {
+			skipped++
+			continue
+		}
+		kept = append(kept, e)
+		lastEnd = e.End
+	}
+	// ...then splice descending.
+	for i := len(kept) - 1; i >= 0; i-- {
+		e := kept[i]
+		data = append(data[:e.Start:e.Start], append([]byte(e.New), data[e.End:]...)...)
+		applied++
+	}
+	if applied == 0 {
+		return 0, skipped, nil
+	}
+	return applied, skipped, os.WriteFile(file, data, mode)
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+
+	"itsim/internal/analysis/schemafreeze"
+)
+
+// freezeMode regenerates the frozen-schema baseline: every vet worker
+// appends its package's //itslint:frozen layouts to a capture file
+// (-schemafreeze.freeze), which is merged, formatted deterministically and
+// written to internal/analysis/testdata/frozen.json under the module root.
+// Other analyzers' findings do not block a freeze — vet runs in JSON mode
+// and the diagnostics are discarded.
+func freezeMode(args []string) int {
+	fs := flag.NewFlagSet("itslint freeze", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	pkgs := fs.Args()
+	if len(pkgs) == 0 {
+		pkgs = []string{"./..."}
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itslint:", err)
+		return 2
+	}
+	capture, err := os.CreateTemp("", "itslint-freeze-*.jsonl")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itslint:", err)
+		return 2
+	}
+	capture.Close()
+	defer os.Remove(capture.Name())
+
+	if _, err := vetJSON(exe, []string{"-schemafreeze.freeze=" + capture.Name()}, pkgs, ""); err != nil {
+		fmt.Fprintln(os.Stderr, "itslint:", err)
+		return 2
+	}
+	data, err := os.ReadFile(capture.Name())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itslint:", err)
+		return 2
+	}
+	baseline, err := schemafreeze.MergeCapture(data)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itslint:", err)
+		return 2
+	}
+	root, err := moduleRoot()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "itslint:", err)
+		return 2
+	}
+	path := filepath.Join(root, filepath.FromSlash(schemafreeze.BaselineRel))
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		fmt.Fprintln(os.Stderr, "itslint:", err)
+		return 2
+	}
+	if err := os.WriteFile(path, schemafreeze.FormatBaseline(baseline), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "itslint:", err)
+		return 2
+	}
+	fmt.Fprintf(os.Stderr, "itslint freeze: %d frozen structs -> %s\n", len(baseline), path)
+	return 0
+}
+
+// moduleRoot locates the enclosing module via `go env GOMOD`.
+func moduleRoot() (string, error) {
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		return "", fmt.Errorf("not inside a Go module (go env GOMOD is empty)")
+	}
+	return filepath.Dir(gomod), nil
+}

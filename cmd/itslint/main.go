@@ -1,17 +1,31 @@
 // Command itslint is the simulator's determinism lint suite: a go vet
-// -vettool multichecker bundling the four custom analyzers of
-// internal/analysis — simdeterminism, gospawn, vtime and eventsink — that
-// machine-check the invariants every figure in this repository rests on
-// (same seed ⇒ byte-identical summaries; see docs/LINTS.md).
+// -vettool multichecker bundling the seven custom analyzers of
+// internal/analysis — simdeterminism, gospawn, vtime, eventsink,
+// entropyflow, seedflow and schemafreeze — that machine-check the
+// invariants every figure in this repository rests on (same seed ⇒
+// byte-identical summaries; see docs/LINTS.md).
 //
-// Two modes:
+// Four modes:
 //
-//	itslint run [packages...]
+//	itslint run [-format text|sarif] [-budget file] [packages...]
 //
 // builds nothing and drives `go vet -vettool=<itself>` over the packages
 // (default ./...), then prints the suppression summary — how many findings
-// //itslint:allow directives absorbed, per analyzer. This is the mode CI
-// and humans use.
+// //itslint:allow directives absorbed, per analyzer. -format sarif emits
+// the diagnostics as a SARIF 2.1.0 log on stdout; -budget fails the run
+// when suppressions exceed the committed per-analyzer budget file. This is
+// the mode CI and humans use.
+//
+//	itslint fix [packages...]
+//
+// applies every machine-safe SuggestedFix the analyzers attach (today:
+// seedflow's wrap-in-prng.Mix rewrite) to the working tree. Idempotent —
+// once rewritten, the diagnostics and so the fixes are gone.
+//
+//	itslint freeze [packages...]
+//
+// regenerates the //itslint:frozen struct-layout baseline at
+// internal/analysis/testdata/frozen.json; commit the result.
 //
 // Any other invocation follows the x/tools unitchecker protocol, i.e. what
 // the go vet driver calls with a .cfg file per package:
@@ -20,69 +34,51 @@
 package main
 
 import (
-	"fmt"
 	"os"
-	"os/exec"
 
+	"golang.org/x/tools/go/analysis"
 	"golang.org/x/tools/go/analysis/unitchecker"
 
+	"itsim/internal/analysis/entropyflow"
 	"itsim/internal/analysis/eventsink"
 	"itsim/internal/analysis/gospawn"
-	"itsim/internal/analysis/itslint"
+	"itsim/internal/analysis/schemafreeze"
+	"itsim/internal/analysis/seedflow"
 	"itsim/internal/analysis/simdeterminism"
 	"itsim/internal/analysis/vtime"
 )
 
-func main() {
-	if len(os.Args) > 1 && os.Args[1] == "run" {
-		os.Exit(runMode(os.Args[2:]))
-	}
-	unitchecker.Main(
-		simdeterminism.Analyzer,
-		gospawn.Analyzer,
-		vtime.Analyzer,
-		eventsink.Analyzer,
-	)
+// analyzers is the suite, in docs/LINTS.md order. The slice feeds both the
+// unitchecker registration and the SARIF rule table.
+var analyzers = []*analysis.Analyzer{
+	simdeterminism.Analyzer,
+	gospawn.Analyzer,
+	vtime.Analyzer,
+	eventsink.Analyzer,
+	entropyflow.Analyzer,
+	seedflow.Analyzer,
+	schemafreeze.Analyzer,
 }
 
-// runMode self-drives go vet with this binary as the vettool, aggregating
-// per-package suppression counts through the $ITSLINT_SUMMARY side channel
-// into one summary line.
-func runMode(pkgs []string) int {
-	exe, err := os.Executable()
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "itslint:", err)
-		return 2
-	}
-	if len(pkgs) == 0 {
-		pkgs = []string{"./..."}
-	}
-	tmp, err := os.CreateTemp("", "itslint-summary-*")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "itslint:", err)
-		return 2
-	}
-	tmp.Close()
-	defer os.Remove(tmp.Name())
+func main() {
+	// nonce is a no-op flag the run/fix/freeze drivers set to a fresh value
+	// on every invocation. go vet folds analyzer flags into its result-cache
+	// key, so a fresh nonce forces every package to be re-analyzed — the
+	// suppression summary and the freeze capture are append-only side
+	// channels the cache knows nothing about, and a cache hit would silently
+	// drop that package's records.
+	simdeterminism.Analyzer.Flags.String("nonce", "",
+		"no-op value; drivers pass a fresh one to defeat go vet's result cache")
 
-	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + exe}, pkgs...)...)
-	cmd.Stdout = os.Stdout
-	cmd.Stderr = os.Stderr
-	cmd.Env = append(os.Environ(), itslint.SummaryEnv+"="+tmp.Name())
-	vetErr := cmd.Run()
-
-	data, err := os.ReadFile(tmp.Name())
-	if err != nil {
-		data = nil
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "run":
+			os.Exit(runMode(os.Args[2:]))
+		case "fix":
+			os.Exit(fixMode(os.Args[2:]))
+		case "freeze":
+			os.Exit(freezeMode(os.Args[2:]))
+		}
 	}
-	fmt.Fprintln(os.Stderr, itslint.FormatSummary(itslint.ParseSummary(data)))
-
-	if vetErr == nil {
-		return 0
-	}
-	if ee, ok := vetErr.(*exec.ExitError); ok {
-		return ee.ExitCode()
-	}
-	fmt.Fprintln(os.Stderr, "itslint:", vetErr)
-	return 2
+	unitchecker.Main(analyzers...)
 }

@@ -17,6 +17,8 @@
 package atest
 
 import (
+	"bytes"
+	"encoding/gob"
 	"fmt"
 	"go/ast"
 	"go/importer"
@@ -25,6 +27,7 @@ import (
 	"go/types"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"sort"
 	"strconv"
@@ -35,31 +38,77 @@ import (
 )
 
 // Run loads each fixture package and checks a's diagnostics against the
-// // want expectations in its files.
+// // want expectations in its files. Fixture dependencies loaded from the
+// tree are analyzed first (depth-first, memoized), so object and package
+// facts exported on them are importable from the package under test —
+// the in-process equivalent of go vet's .vetx fact files.
 func Run(t *testing.T, dir string, a *analysis.Analyzer, paths ...string) {
 	t.Helper()
-	l := newLoader(dir)
+	s := newSession(dir)
 	for _, path := range paths {
-		pi, err := l.load(path)
+		pi, err := s.l.load(path)
 		if err != nil {
 			t.Errorf("%s: loading fixture %s: %v", a.Name, path, err)
 			continue
 		}
-		diags := runAnalyzer(t, a, l, pi)
-		check(t, a.Name, l.fset, pi, diags)
+		diags := s.analyze(t, a, pi)
+		check(t, a.Name, s.l.fset, pi, diags)
 	}
 }
 
 // RunResult loads one fixture package and returns the raw diagnostics,
-// for tests that assert on suppression counts rather than // want lines.
+// for tests that assert on suppression counts, fact flow or suggested
+// fixes rather than // want lines.
 func RunResult(t *testing.T, dir string, a *analysis.Analyzer, path string) []analysis.Diagnostic {
 	t.Helper()
-	l := newLoader(dir)
-	pi, err := l.load(path)
+	s := newSession(dir)
+	pi, err := s.l.load(path)
 	if err != nil {
 		t.Fatalf("%s: loading fixture %s: %v", a.Name, path, err)
 	}
-	return runAnalyzer(t, a, l, pi)
+	return s.analyze(t, a, pi)
+}
+
+// session carries the cross-package state of one Run/RunResult call: the
+// loader plus the fact store shared by every package analyzed in it.
+type session struct {
+	l *loader
+	// objFacts and pkgFacts store gob-encoded facts, keyed by the object
+	// (or package) and the concrete fact type — the same keying the real
+	// driver uses, with gob round-trips standing in for .vetx files so
+	// non-serializable facts fail here too.
+	objFacts map[objFactKey][]byte
+	pkgFacts map[pkgFactKey][]byte
+	// analyzed memoizes which fixture packages an analyzer already ran
+	// on, per analyzer (Requires members run once per package too).
+	analyzed map[*analysis.Analyzer]map[string]bool
+	// results memoizes analyzer results per (analyzer, package).
+	results map[*analysis.Analyzer]map[string]any
+	// diags accumulates diagnostics per (analyzer, package) so that a
+	// package analyzed early (as a dependency) keeps its diagnostics for
+	// a later direct Run over the same session.
+	diags map[*analysis.Analyzer]map[string][]analysis.Diagnostic
+}
+
+type objFactKey struct {
+	obj types.Object
+	t   reflect.Type
+}
+
+type pkgFactKey struct {
+	pkg *types.Package
+	t   reflect.Type
+}
+
+func newSession(dir string) *session {
+	return &session{
+		l:        newLoader(dir),
+		objFacts: make(map[objFactKey][]byte),
+		pkgFacts: make(map[pkgFactKey][]byte),
+		analyzed: make(map[*analysis.Analyzer]map[string]bool),
+		results:  make(map[*analysis.Analyzer]map[string]any),
+		diags:    make(map[*analysis.Analyzer]map[string][]analysis.Diagnostic),
+	}
 }
 
 type pkgInfo struct {
@@ -144,16 +193,42 @@ type importerFunc func(path string) (*types.Package, error)
 
 func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }
 
-// runAnalyzer executes a (and, recursively, its Requires) on the package
-// and collects the diagnostics.
-func runAnalyzer(t *testing.T, a *analysis.Analyzer, l *loader, pi *pkgInfo) []analysis.Diagnostic {
+// analyze executes a on pi — after executing it on every fixture-tree
+// dependency of pi (depth-first), so facts exported on dependency objects
+// are importable — and returns pi's diagnostics.
+func (s *session) analyze(t *testing.T, a *analysis.Analyzer, pi *pkgInfo) []analysis.Diagnostic {
 	t.Helper()
+	s.ensure(t, a, pi)
+	return s.diags[a][pi.pkg.Path()]
+}
+
+// ensure runs a (and, recursively, its Requires) on pi exactly once per
+// session, dependencies first. Import order over pi.pkg.Imports() is
+// deterministic for a fixed fixture, and the fixture trees are acyclic by
+// construction (Go forbids import cycles).
+func (s *session) ensure(t *testing.T, a *analysis.Analyzer, pi *pkgInfo) {
+	t.Helper()
+	path := pi.pkg.Path()
+	if s.analyzed[a] == nil {
+		s.analyzed[a] = make(map[string]bool)
+	}
+	if s.analyzed[a][path] {
+		return
+	}
+	s.analyzed[a][path] = true
+	for _, imp := range pi.pkg.Imports() {
+		if dpi, ok := s.l.pkgs[imp.Path()]; ok {
+			s.ensure(t, a, dpi)
+		}
+	}
+
 	var diags []analysis.Diagnostic
-	results := make(map[*analysis.Analyzer]any)
 	var exec func(a *analysis.Analyzer, collect bool) any
 	exec = func(a *analysis.Analyzer, collect bool) any {
-		if r, ok := results[a]; ok {
-			return r
+		if perPkg, ok := s.results[a]; ok {
+			if r, ok := perPkg[path]; ok {
+				return r
+			}
 		}
 		resultOf := make(map[*analysis.Analyzer]any)
 		for _, req := range a.Requires {
@@ -161,7 +236,7 @@ func runAnalyzer(t *testing.T, a *analysis.Analyzer, l *loader, pi *pkgInfo) []a
 		}
 		pass := &analysis.Pass{
 			Analyzer:   a,
-			Fset:       l.fset,
+			Fset:       s.l.fset,
 			Files:      pi.files,
 			Pkg:        pi.pkg,
 			TypesInfo:  pi.info,
@@ -172,22 +247,112 @@ func runAnalyzer(t *testing.T, a *analysis.Analyzer, l *loader, pi *pkgInfo) []a
 					diags = append(diags, d)
 				}
 			},
-			ImportObjectFact:  func(obj types.Object, fact analysis.Fact) bool { return false },
-			ExportObjectFact:  func(obj types.Object, fact analysis.Fact) {},
-			ImportPackageFact: func(pkg *types.Package, fact analysis.Fact) bool { return false },
-			ExportPackageFact: func(fact analysis.Fact) {},
-			AllObjectFacts:    func() []analysis.ObjectFact { return nil },
-			AllPackageFacts:   func() []analysis.PackageFact { return nil },
+			ImportObjectFact:  s.importObjectFact,
+			ExportObjectFact:  s.exportObjectFactFor(t, a, pi),
+			ImportPackageFact: s.importPackageFact,
+			ExportPackageFact: s.exportPackageFactFor(t, a, pi),
+			AllObjectFacts:    s.allObjectFacts,
+			AllPackageFacts:   s.allPackageFacts,
 		}
 		r, err := a.Run(pass)
 		if err != nil {
-			t.Fatalf("%s: Run failed on %s: %v", a.Name, pi.pkg.Path(), err)
+			t.Fatalf("%s: Run failed on %s: %v", a.Name, path, err)
 		}
-		results[a] = r
+		if s.results[a] == nil {
+			s.results[a] = make(map[string]any)
+		}
+		s.results[a][path] = r
 		return r
 	}
 	exec(a, true)
-	return diags
+	if s.diags[a] == nil {
+		s.diags[a] = make(map[string][]analysis.Diagnostic)
+	}
+	s.diags[a][path] = diags
+}
+
+// encodeFact gob-encodes a fact, mirroring the serialization the real vet
+// driver applies between compilation units: facts that cannot survive gob
+// fail in tests too.
+func encodeFact(fact analysis.Fact) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(fact); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func decodeFact(data []byte, into analysis.Fact) error {
+	return gob.NewDecoder(bytes.NewReader(data)).Decode(into)
+}
+
+func (s *session) importObjectFact(obj types.Object, fact analysis.Fact) bool {
+	data, ok := s.objFacts[objFactKey{obj, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	if err := decodeFact(data, fact); err != nil {
+		panic(fmt.Sprintf("atest: decoding object fact %T: %v", fact, err))
+	}
+	return true
+}
+
+func (s *session) exportObjectFactFor(t *testing.T, a *analysis.Analyzer, pi *pkgInfo) func(types.Object, analysis.Fact) {
+	return func(obj types.Object, fact analysis.Fact) {
+		if obj == nil || obj.Pkg() != pi.pkg {
+			t.Fatalf("%s: ExportObjectFact on object %v outside current package %s", a.Name, obj, pi.pkg.Path())
+		}
+		data, err := encodeFact(fact)
+		if err != nil {
+			t.Fatalf("%s: encoding object fact %T: %v", a.Name, fact, err)
+		}
+		s.objFacts[objFactKey{obj, reflect.TypeOf(fact)}] = data
+	}
+}
+
+func (s *session) importPackageFact(pkg *types.Package, fact analysis.Fact) bool {
+	data, ok := s.pkgFacts[pkgFactKey{pkg, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	if err := decodeFact(data, fact); err != nil {
+		panic(fmt.Sprintf("atest: decoding package fact %T: %v", fact, err))
+	}
+	return true
+}
+
+func (s *session) exportPackageFactFor(t *testing.T, a *analysis.Analyzer, pi *pkgInfo) func(analysis.Fact) {
+	return func(fact analysis.Fact) {
+		data, err := encodeFact(fact)
+		if err != nil {
+			t.Fatalf("%s: encoding package fact %T: %v", a.Name, fact, err)
+		}
+		s.pkgFacts[pkgFactKey{pi.pkg, reflect.TypeOf(fact)}] = data
+	}
+}
+
+func (s *session) allObjectFacts() []analysis.ObjectFact {
+	var out []analysis.ObjectFact
+	for k, data := range s.objFacts {
+		fact := reflect.New(k.t.Elem()).Interface().(analysis.Fact)
+		if err := decodeFact(data, fact); err != nil {
+			panic(fmt.Sprintf("atest: decoding object fact %v: %v", k.t, err))
+		}
+		out = append(out, analysis.ObjectFact{Object: k.obj, Fact: fact})
+	}
+	return out
+}
+
+func (s *session) allPackageFacts() []analysis.PackageFact {
+	var out []analysis.PackageFact
+	for k, data := range s.pkgFacts {
+		fact := reflect.New(k.t.Elem()).Interface().(analysis.Fact)
+		if err := decodeFact(data, fact); err != nil {
+			panic(fmt.Sprintf("atest: decoding package fact %v: %v", k.t, err))
+		}
+		out = append(out, analysis.PackageFact{Package: k.pkg, Fact: fact})
+	}
+	return out
 }
 
 // expectation is one // want regexp at a file:line.

@@ -1,0 +1,68 @@
+package entropyflow_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"reflect"
+	"strings"
+	"testing"
+
+	"itsim/internal/analysis/atest"
+	"itsim/internal/analysis/entropyflow"
+	"itsim/internal/analysis/simdeterminism"
+)
+
+// TestEntropyFlow checks both polarities on the fixture tree: the chaos
+// consumer package (deterministic set) must flag every laundered-entropy
+// sink and nothing else, and the helper packages outside the set must stay
+// diagnostic-free even though they contain the map ranges.
+func TestEntropyFlow(t *testing.T) {
+	atest.Run(t, "../testdata", entropyflow.Analyzer,
+		"itsim/internal/chaos", "itsim/internal/lib/order", "itsim/internal/lib/wrap")
+}
+
+// TestHelperChainBeyondSimdeterminism is the regression proof from the
+// acceptance criteria: the map-range leak hidden behind the two-package
+// order→wrap helper chain is caught by entropyflow and NOT caught by
+// simdeterminism alone on the consumer package.
+func TestHelperChainBeyondSimdeterminism(t *testing.T) {
+	ed := atest.RunResult(t, "../testdata", entropyflow.Analyzer, "itsim/internal/chaos")
+	found := false
+	for _, d := range ed {
+		if strings.Contains(d.Message, "via itsim/internal/lib/order.Keys") &&
+			strings.Contains(d.Message, "event-queue insertion key") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("entropyflow did not catch the two-package helper-chain leak; diagnostics: %+v", ed)
+	}
+	sd := atest.RunResult(t, "../testdata", simdeterminism.Analyzer, "itsim/internal/chaos")
+	if len(sd) != 0 {
+		t.Fatalf("simdeterminism unexpectedly caught the laundered leak (the fixture must contain "+
+			"no direct source): %+v", sd)
+	}
+}
+
+// TestFactRoundTrip proves each fact type survives the gob serialization
+// the vet driver applies between compilation units.
+func TestFactRoundTrip(t *testing.T) {
+	facts := []any{
+		&entropyflow.ReturnsEntropy{Why: "map iteration order (via p.F)"},
+		&entropyflow.ParamEscapesToSink{Params: []int{0, 2}, Sink: "PRNG seed; obs event field"},
+		&entropyflow.SeedsRNG{Params: []int{1}},
+	}
+	for _, f := range facts {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(f); err != nil {
+			t.Fatalf("encoding %T: %v", f, err)
+		}
+		out := reflect.New(reflect.TypeOf(f).Elem()).Interface()
+		if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+			t.Fatalf("decoding %T: %v", f, err)
+		}
+		if !reflect.DeepEqual(f, out) {
+			t.Errorf("%T round-trip mismatch: sent %+v, got %+v", f, f, out)
+		}
+	}
+}

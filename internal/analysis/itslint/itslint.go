@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"go/ast"
 	"go/token"
+	"go/types"
 	"os"
 	"sort"
 	"strconv"
@@ -64,8 +65,108 @@ func IsTestFile(pass *analysis.Pass, pos token.Pos) bool {
 	return strings.HasSuffix(pass.Fset.Position(pos).Filename, "_test.go")
 }
 
+// EntropySources maps package path → function name → the nondeterminism
+// class a call introduces. It is the single source table shared by
+// simdeterminism (which bans the calls outright in the deterministic set)
+// and entropyflow (which treats their results as taint everywhere, so a
+// wall-clock read or global-rand draw laundered through a helper package
+// is still caught when it reaches sim-visible state).
+var EntropySources = map[string]map[string]string{
+	"time": {
+		"Now":   "wall-clock read",
+		"Since": "wall-clock read",
+		"Until": "wall-clock read",
+	},
+	"math/rand": {
+		"Int": "global math/rand source", "Intn": "global math/rand source",
+		"Int31": "global math/rand source", "Int31n": "global math/rand source",
+		"Int63": "global math/rand source", "Int63n": "global math/rand source",
+		"Uint32": "global math/rand source", "Uint64": "global math/rand source",
+		"Float32": "global math/rand source", "Float64": "global math/rand source",
+		"ExpFloat64": "global math/rand source", "NormFloat64": "global math/rand source",
+		"Perm": "global math/rand source", "Shuffle": "global math/rand source",
+		"Seed": "global math/rand source", "Read": "global math/rand source",
+	},
+	"math/rand/v2": {
+		"Int": "global math/rand/v2 source", "IntN": "global math/rand/v2 source",
+		"Int32": "global math/rand/v2 source", "Int32N": "global math/rand/v2 source",
+		"Int64": "global math/rand/v2 source", "Int64N": "global math/rand/v2 source",
+		"Uint32": "global math/rand/v2 source", "Uint32N": "global math/rand/v2 source",
+		"Uint64": "global math/rand/v2 source", "Uint64N": "global math/rand/v2 source",
+		"N": "global math/rand/v2 source", "Float32": "global math/rand/v2 source",
+		"Float64": "global math/rand/v2 source", "Perm": "global math/rand/v2 source",
+		"Shuffle": "global math/rand/v2 source", "ExpFloat64": "global math/rand/v2 source",
+		"NormFloat64": "global math/rand/v2 source",
+	},
+	"os": {
+		"Getenv":    "environment-dependent behaviour",
+		"LookupEnv": "environment-dependent behaviour",
+		"Environ":   "environment-dependent behaviour",
+		"ExpandEnv": "environment-dependent behaviour",
+	},
+}
+
+// EntropySource reports whether fn is one of the banned nondeterminism
+// introducers, and the class it belongs to.
+func EntropySource(fn *types.Func) (why string, ok bool) {
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	if sig, sok := fn.Type().(*types.Signature); !sok || sig.Recv() != nil {
+		return "", false // method call (e.g. a seeded *rand.Rand) — deterministic
+	}
+	why, ok = EntropySources[fn.Pkg().Path()][fn.Name()]
+	return why, ok
+}
+
 // prefix is the directive that suppresses an itslint diagnostic.
 const prefix = "//itslint:allow"
+
+// mixerPrefix marks a function as a documented seed mixer: seedflow
+// accepts its calls as sanctioned seed derivations (see docs/LINTS.md,
+// "seedflow").
+const mixerPrefix = "//itslint:seedmixer"
+
+// FrozenPrefix marks an exported struct whose serialized layout is frozen
+// against the committed schemafreeze baseline.
+const FrozenPrefix = "//itslint:frozen"
+
+// IsSeedMixer reports whether the function declaration carries the
+// //itslint:seedmixer directive in its doc comment.
+func IsSeedMixer(fd *ast.FuncDecl) bool {
+	return hasDirective(fd.Doc, mixerPrefix)
+}
+
+// IsFrozen reports whether the struct's type declaration carries the
+// //itslint:frozen directive in doc (on the TypeSpec or its GenDecl).
+func IsFrozen(docs ...*ast.CommentGroup) bool {
+	for _, d := range docs {
+		if hasDirective(d, FrozenPrefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasDirective reports whether the comment group contains a line that is
+// the directive, optionally followed by free text.
+func hasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if c.Text == directive {
+			return true
+		}
+		if strings.HasPrefix(c.Text, directive) {
+			rest := c.Text[len(directive):]
+			if strings.HasPrefix(rest, " ") || strings.HasPrefix(rest, "\t") {
+				return true
+			}
+		}
+	}
+	return false
+}
 
 // SummaryEnv, when set, names a file each analyzer appends its suppression
 // counts to; `itslint run` aggregates it into the multichecker summary.
@@ -151,6 +252,12 @@ func (al *Allows) allowed(pos token.Pos) *Directive {
 	return nil
 }
 
+// Sanctioned reports whether a justified allow directive covers pos,
+// WITHOUT counting a suppression. entropyflow uses it to sanitize taint at
+// source sites (a map range simdeterminism already arbitrates), so one
+// directive is not double-counted against two analyzers' budgets.
+func (al *Allows) Sanctioned(pos token.Pos) bool { return al.allowed(pos) != nil }
+
 // Report files the diagnostic unless a justified //itslint:allow directive
 // covers pos, in which case the suppression is counted instead.
 func (al *Allows) Report(pos token.Pos, format string, args ...any) {
@@ -159,6 +266,20 @@ func (al *Allows) Report(pos token.Pos, format string, args ...any) {
 		return
 	}
 	al.pass.Report(analysis.Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ReportFix is Report with attached SuggestedFixes, for diagnostics that
+// `itslint fix` can apply mechanically.
+func (al *Allows) ReportFix(pos token.Pos, end token.Pos, fixes []analysis.SuggestedFix, format string, args ...any) {
+	if al.allowed(pos) != nil {
+		al.Suppressed++
+		return
+	}
+	al.pass.Report(analysis.Diagnostic{
+		Pos: pos, End: end,
+		Message:        fmt.Sprintf(format, args...),
+		SuggestedFixes: fixes,
+	})
 }
 
 // Flush appends this pass's suppression count to the $ITSLINT_SUMMARY file
@@ -230,6 +351,47 @@ func FormatSummary(perAnalyzer map[string]int, total int) string {
 	}
 	return fmt.Sprintf("itslint: %d %s suppressed by //itslint:allow (%s)",
 		total, noun, strings.Join(parts, ", "))
+}
+
+// ParseBudget parses a suppression-budget file: one `analyzer count` pair
+// per line, '#' comments and blank lines ignored. The budget is the
+// ceiling on //itslint:allow suppressions per analyzer — suppressions can
+// be spent down (count below budget) but never silently grow.
+func ParseBudget(data []byte) (map[string]int, error) {
+	budget := make(map[string]int)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("budget line %d: want `analyzer count`, got %q", i+1, line)
+		}
+		n, err := strconv.Atoi(fields[1])
+		if err != nil || n < 0 {
+			return nil, fmt.Errorf("budget line %d: bad count %q", i+1, fields[1])
+		}
+		budget[fields[0]] = n
+	}
+	return budget, nil
+}
+
+// CheckBudget compares observed per-analyzer suppression counts against
+// the budget and returns one violation line per analyzer over its ceiling
+// (an analyzer absent from the budget file has a ceiling of zero), sorted.
+func CheckBudget(perAnalyzer, budget map[string]int) []string {
+	var violations []string
+	for name, n := range perAnalyzer {
+		if max := budget[name]; n > max {
+			violations = append(violations, fmt.Sprintf(
+				"%s: %d suppressions exceed the committed budget of %d (spend suppressions down, never grow them; "+
+					"if a new //itslint:allow is genuinely justified, raise the budget file in the same reviewed change)",
+				name, n, max))
+		}
+	}
+	sort.Strings(violations)
+	return violations
 }
 
 // CheckDirectives reports every //itslint:allow directive with an empty

@@ -29,43 +29,11 @@ var Analyzer = &analysis.Analyzer{
 	Run: run,
 }
 
-// bannedFuncs maps package path → function name → the invariant the call
-// would break. Only package-level functions are banned: a seeded
-// *rand.Rand method draw is deterministic, the global source is not.
-var bannedFuncs = map[string]map[string]string{
-	"time": {
-		"Now":   "wall-clock read",
-		"Since": "wall-clock read",
-		"Until": "wall-clock read",
-	},
-	"math/rand": {
-		"Int": "global math/rand source", "Intn": "global math/rand source",
-		"Int31": "global math/rand source", "Int31n": "global math/rand source",
-		"Int63": "global math/rand source", "Int63n": "global math/rand source",
-		"Uint32": "global math/rand source", "Uint64": "global math/rand source",
-		"Float32": "global math/rand source", "Float64": "global math/rand source",
-		"ExpFloat64": "global math/rand source", "NormFloat64": "global math/rand source",
-		"Perm": "global math/rand source", "Shuffle": "global math/rand source",
-		"Seed": "global math/rand source", "Read": "global math/rand source",
-	},
-	"math/rand/v2": {
-		"Int": "global math/rand/v2 source", "IntN": "global math/rand/v2 source",
-		"Int32": "global math/rand/v2 source", "Int32N": "global math/rand/v2 source",
-		"Int64": "global math/rand/v2 source", "Int64N": "global math/rand/v2 source",
-		"Uint32": "global math/rand/v2 source", "Uint32N": "global math/rand/v2 source",
-		"Uint64": "global math/rand/v2 source", "Uint64N": "global math/rand/v2 source",
-		"N": "global math/rand/v2 source", "Float32": "global math/rand/v2 source",
-		"Float64": "global math/rand/v2 source", "Perm": "global math/rand/v2 source",
-		"Shuffle": "global math/rand/v2 source", "ExpFloat64": "global math/rand/v2 source",
-		"NormFloat64": "global math/rand/v2 source",
-	},
-	"os": {
-		"Getenv":    "environment-dependent behaviour",
-		"LookupEnv": "environment-dependent behaviour",
-		"Environ":   "environment-dependent behaviour",
-		"ExpandEnv": "environment-dependent behaviour",
-	},
-}
+// The banned package-level function table lives in itslint.EntropySources,
+// shared with entropyflow: what this pass bans syntactically inside the
+// deterministic set, entropyflow tracks as taint through helper packages.
+// Only package-level functions are banned: a seeded *rand.Rand method draw
+// is deterministic, the global source is not.
 
 func run(pass *analysis.Pass) (any, error) {
 	// The allow-directive validation runs on every package — a suppression
@@ -106,13 +74,10 @@ func checkCall(pass *analysis.Pass, al *itslint.Allows, call *ast.CallExpr) {
 		return
 	}
 	fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
-	if !ok || fn.Pkg() == nil {
+	if !ok {
 		return
 	}
-	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
-		return // method call (e.g. a seeded *rand.Rand) — deterministic
-	}
-	if why, banned := bannedFuncs[fn.Pkg().Path()][fn.Name()]; banned {
+	if why, banned := itslint.EntropySource(fn); banned {
 		al.Report(call.Pos(),
 			"call to %s.%s in deterministic package %s: %s breaks bit-exact replay",
 			fn.Pkg().Path(), fn.Name(), pass.Pkg.Path(), why)

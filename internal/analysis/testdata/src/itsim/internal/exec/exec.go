@@ -31,10 +31,30 @@ func constOffset(t sim.Time) sim.Time {
 	return t + 5*sim.Millisecond
 }
 
-// floatScale converts a float product: the sanctioned fractional-scaling
-// idiom, exempt from the fresh-conversion rule.
+// floatScale converts a float product with a float64(span) factor: the
+// sanctioned fractional-scaling idiom, exempt from the fresh-conversion
+// rule because the factor carries the time units.
 func floatScale(t sim.Time, frac float64, span sim.Time) sim.Time {
 	return t + sim.Time(frac*float64(span))
+}
+
+// multScale is the chaos/resilience multiplier shape (float64(t) * mult,
+// duration first): also sanctioned, no allow-comment needed.
+func multScale(t, span sim.Time, mult float64) sim.Time {
+	return t + sim.Time(float64(span)*mult)
+}
+
+// badFloatAdd converts a unitless float straight into time arithmetic —
+// no factor carries units, so this is the float flavour of the
+// count-as-nanoseconds bug.
+func badFloatAdd(t sim.Time, x float64) sim.Time {
+	return t + sim.Time(x) // want `virtual-time arithmetic adds sim\.Time\(x\): the converted float carries no time units`
+}
+
+// badFloatProduct multiplies two unitless floats: still no units, still
+// flagged even though it is a product.
+func badFloatProduct(t sim.Time, a, b float64) bool {
+	return t < sim.Time(a*b) // want `virtual-time arithmetic compares sim\.Time\(…\): the converted float carries no time units`
 }
 
 // RunUntil is on the analyzer's exempt list for this package: it IS the

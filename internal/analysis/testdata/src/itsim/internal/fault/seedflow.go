@@ -1,0 +1,72 @@
+// Package fault is the seedflow fixture: every sanctioned seed shape in
+// one column, every diagnostic shape in the other, plus a forwarder whose
+// SeedArg fact moves the check to the caller's argument.
+package fault
+
+import "itsim/internal/prng"
+
+// axisTweak is a named tweak constant — the XOR/multiply operand the
+// sanctioned shapes are built from.
+const axisTweak uint64 = 0x51afd54fb7f5c9da
+
+// newStream forwards its seed parameter into the constructor unchanged:
+// legal here (pass-through), and the SeedArg fact makes its callers' seed
+// arguments subject to the shape check.
+func newStream(rate float64, seed uint64) *prng.Source {
+	_ = rate
+	return prng.New(seed)
+}
+
+// xorChain is the canonical sanctioned derivation.
+func xorChain(base uint64, id int) *prng.Source {
+	return prng.New(base ^ axisTweak ^ uint64(id+1)*axisTweak)
+}
+
+// mixed derives through the documented mixer.
+func mixed(base uint64, id int) *prng.Source {
+	return prng.New(prng.Mix(base, uint64(id)))
+}
+
+// namedPassThrough hands a named value straight to the constructor.
+func namedPassThrough(cfg struct{ Seed uint64 }) *prng.Source {
+	return prng.New(cfg.Seed)
+}
+
+// rawLiteral builds a stream from a bare literal.
+func rawLiteral() *prng.Source {
+	return prng.New(42) // want `raw literal PRNG seed for New in deterministic package itsim/internal/fault`
+}
+
+// bareAdd is the collision-prone id+seed shape.
+func bareAdd(base uint64, id int) *prng.Source {
+	return prng.New(base + uint64(id)) // want `bare "\+" arithmetic in PRNG seed for New`
+}
+
+// bareAddConverted hides the addition inside a transparent conversion.
+func bareAddConverted(base int, id int) *prng.Source {
+	return prng.New(uint64(base + id)) // want `bare "\+" arithmetic in PRNG seed for New`
+}
+
+// forwardedAdd reaches the constructor through the forwarder: the SeedArg
+// fact lands the same diagnostic on the caller's argument.
+func forwardedAdd(base uint64, id int) *prng.Source {
+	return newStream(0.5, base+uint64(id)) // want `bare "\+" arithmetic in PRNG seed for newStream`
+}
+
+// reused gives two axes the same stream.
+func reused(base uint64) (*prng.Source, *prng.Source) {
+	a := prng.New(base ^ axisTweak)
+	b := prng.New(base ^ axisTweak) // want `reuses an earlier stream's seed expression`
+	return a, b
+}
+
+// distinctTweaks is the clean polarity of reuse: per-axis tweak multiplies.
+func distinctTweaks(base uint64) (*prng.Source, *prng.Source) {
+	return prng.New(base ^ axisTweak), prng.New(base ^ 3*axisTweak)
+}
+
+// allowedRaw carries a justified suppression: counted, not reported.
+func allowedRaw() *prng.Source {
+	//itslint:allow fixture: demo stream, correlation harmless
+	return prng.New(7)
+}

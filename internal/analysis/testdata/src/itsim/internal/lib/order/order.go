@@ -1,0 +1,25 @@
+// Package order is a helper OUTSIDE the deterministic set: it may legally
+// range over maps, but entropyflow exports a ReturnsEntropy fact on Keys so
+// the map-order dependence is still caught when a deterministic package
+// consumes the result. No diagnostics are expected in this package.
+package order
+
+import "sort"
+
+// Keys returns m's keys in Go's per-run randomized map order: the return
+// value carries "map iteration order" entropy.
+func Keys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// SortedKeys is the clean polarity: the sort sanitizes the order, so the
+// return value carries no entropy fact.
+func SortedKeys(m map[string]int) []string {
+	out := Keys(m)
+	sort.Strings(out)
+	return out
+}

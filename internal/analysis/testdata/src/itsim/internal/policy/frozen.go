@@ -1,0 +1,34 @@
+// Package policy is the schemafreeze fixture: frozen structs in every
+// state — matching the baseline, drifted from it, and never registered —
+// plus an unfrozen struct the pass must ignore.
+package policy
+
+// Frozen matches the committed fixture baseline exactly: clean.
+//
+//itslint:frozen
+type Frozen struct {
+	Name string `json:"name"`
+	Val  uint64 `json:"val"`
+}
+
+// Drifted gained the Extra field without regenerating the baseline — the
+// accident the gate exists for.
+//
+//itslint:frozen
+type Drifted struct { // want `frozen struct itsim/internal/policy\.Drifted drifted from the committed baseline`
+	Name  string `json:"name"`
+	Extra int    `json:"extra"`
+}
+
+// Unregistered is frozen but absent from the baseline: freezing a struct
+// and committing its layout are one reviewed change.
+//
+//itslint:frozen
+type Unregistered struct { // want `frozen struct itsim/internal/policy\.Unregistered is not in the frozen-schema baseline`
+	X int `json:"x"`
+}
+
+// Free is not frozen: it may change shape at will.
+type Free struct {
+	Whatever int `json:"whatever"`
+}

@@ -11,12 +11,15 @@
 //     sim.Time values: time × time is time², never a duration. Scaling a
 //     per-item cost by a count is written cost*sim.Time(n) — the explicit
 //     conversion marks the operand as a scalar and is not flagged.
-//  2. t ± sim.Time(x) where x is a non-constant integer expression: adding
-//     a freshly converted raw integer to a timestamp is how byte counts and
-//     cycle counts sneak into the clock. Convert at the rate boundary
-//     instead (ns = units / unitsPerNs), as the clock helpers do. Float
-//     conversions are exempt — frac*float64(span) scaling is the sanctioned
-//     idiom and carries its units in the fraction.
+//  2. t ± sim.Time(x) where x is a non-constant integer or unitless float
+//     expression: adding a freshly converted raw number to a timestamp is
+//     how byte counts and cycle counts sneak into the clock. Convert at the
+//     rate boundary instead (ns = units / unitsPerNs), as the clock helpers
+//     do. The sanctioned fractional-scaling shape is exempt: a float
+//     product/quotient with a float64(<sim.Time>) factor — frac *
+//     float64(span), float64(t) * WarmMult — carries its time units inside
+//     the expression, so chaos/resilience multiplier scaling needs no
+//     allow-comment.
 //  3. t OP sim.Time(x) comparisons with a freshly converted non-constant
 //     integer, the same confusion on the comparison path.
 //
@@ -109,11 +112,24 @@ func checkBinary(pass *analysis.Pass, al *itslint.Allows, be *ast.BinaryExpr) {
 }
 
 // reportFreshConv flags the operand that is a conversion of a non-constant
-// non-time integer directly inside time arithmetic.
+// non-time integer — or unitless float — directly inside time arithmetic.
 func reportFreshConv(pass *analysis.Pass, al *itslint.Allows, be *ast.BinaryExpr, verb string) {
 	for _, op := range [2]ast.Expr{be.X, be.Y} {
 		arg, ok := timeConvArg(pass, op)
-		if !ok || isConst(pass, op) || isTime(pass, arg) || !isInteger(pass, arg) {
+		if !ok || isConst(pass, op) || isTime(pass, arg) {
+			continue
+		}
+		if isFloat(pass, arg) {
+			if hasTimeFactor(pass, arg) {
+				continue // sanctioned fractional scaling: units ride the float64(<sim.Time>) factor
+			}
+			al.Report(op.Pos(),
+				"virtual-time arithmetic %s sim.Time(%s): the converted float carries no time units; "+
+					"scale a duration instead (frac * float64(span)) or convert at the rate boundary",
+				verb, exprString(arg))
+			continue
+		}
+		if !isInteger(pass, arg) {
 			continue
 		}
 		al.Report(op.Pos(),
@@ -121,6 +137,27 @@ func reportFreshConv(pass *analysis.Pass, al *itslint.Allows, be *ast.BinaryExpr
 				"is the byte/cycle-count-as-nanoseconds bug; convert at the rate boundary or justify with //itslint:allow",
 			verb, exprString(arg), pass.TypesInfo.TypeOf(arg))
 	}
+}
+
+// hasTimeFactor reports whether the float expression carries its time
+// units internally: some multiplicative factor is itself a float conversion
+// of a sim.Time value (the frac*float64(span) / float64(t)*mult shape). A
+// sum or difference is unit-carrying only when both sides are.
+func hasTimeFactor(pass *analysis.Pass, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.MUL, token.QUO:
+			return hasTimeFactor(pass, e.X) || hasTimeFactor(pass, e.Y)
+		case token.ADD, token.SUB:
+			return hasTimeFactor(pass, e.X) && hasTimeFactor(pass, e.Y)
+		}
+	case *ast.CallExpr:
+		if arg, ok := floatConvArg(pass, e); ok {
+			return isTime(pass, arg) || hasTimeFactor(pass, arg)
+		}
+	}
+	return false
 }
 
 // isTime reports whether e's type is sim.Time.
@@ -137,13 +174,34 @@ func isTimeType(t types.Type) bool {
 	return obj.Name() == "Time" && obj.Pkg() != nil && obj.Pkg().Path() == simPkg
 }
 
-// isInteger reports whether e's core type is an integer: converting a float
-// to sim.Time is the scaling/averaging idiom (frac * float64(span)) and is
-// not flagged — the unit-confusion class this analyzer hunts is integer
-// quantities (bytes, lines, cycles, counts) used directly as nanoseconds.
+// isInteger reports whether e's core type is an integer — the classic
+// unit-confusion class: byte, line, cycle and record counts used directly
+// as nanoseconds.
 func isInteger(pass *analysis.Pass, e ast.Expr) bool {
 	basic, ok := pass.TypesInfo.TypeOf(e).Underlying().(*types.Basic)
 	return ok && basic.Info()&types.IsInteger != 0
+}
+
+// isFloat reports whether e's core type is a float.
+func isFloat(pass *analysis.Pass, e ast.Expr) bool {
+	basic, ok := pass.TypesInfo.TypeOf(e).Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsFloat != 0
+}
+
+// floatConvArg returns the argument of a float32/float64(...) conversion.
+func floatConvArg(pass *analysis.Pass, call *ast.CallExpr) (ast.Expr, bool) {
+	if len(call.Args) != 1 {
+		return nil, false
+	}
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok || !tv.IsType() {
+		return nil, false
+	}
+	basic, ok := tv.Type.Underlying().(*types.Basic)
+	if !ok || basic.Info()&types.IsFloat == 0 {
+		return nil, false
+	}
+	return call.Args[0], true
 }
 
 // isConst reports whether e folds to a compile-time constant.

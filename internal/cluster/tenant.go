@@ -257,6 +257,8 @@ const (
 // benchmark profile's pinned seed, mixed with the tenant index (so
 // same-bench tenants differ) and the cluster seed (so -seed perturbs the
 // whole fleet; XOR with 0 is the identity).
+//
+//itslint:seedmixer
 func (t TenantSpec) baseSeed(tenantIdx int, clusterSeed uint64) uint64 {
 	base := t.Seed
 	if base == 0 {
@@ -271,6 +273,8 @@ func (t TenantSpec) baseSeed(tenantIdx int, clusterSeed uint64) uint64 {
 }
 
 // requestSeed derives request seq's trace seed from the tenant base.
+//
+//itslint:seedmixer
 func requestSeed(base uint64, seq int) uint64 {
 	return base ^ uint64(seq+1)*requestSeedMix
 }

@@ -6,6 +6,8 @@ package metrics
 // deliberate baseline extension.
 
 // TenantStats digests one tenant's serving experience over a fleet run.
+//
+//itslint:frozen
 type TenantStats struct {
 	// Name is the tenant's name from the tenant spec.
 	Name string `json:"name"`
@@ -48,6 +50,8 @@ type TenantStats struct {
 }
 
 // MachineStats digests one machine's activity over a fleet run.
+//
+//itslint:frozen
 type MachineStats struct {
 	// ID is the machine's index in the cluster.
 	ID int `json:"id"`
@@ -83,6 +87,8 @@ type MachineStats struct {
 }
 
 // FleetSummary is the JSON-serializable digest of one cluster run.
+//
+//itslint:frozen
 type FleetSummary struct {
 	// Policy and Routing name the I/O-mode policy every machine ran and
 	// the routing policy that placed requests.
@@ -113,6 +119,8 @@ type FleetSummary struct {
 
 // ChaosStats aggregates fleet resilience activity: machine-level chaos
 // windows that hit, and the request-lifecycle reactions to them.
+//
+//itslint:frozen
 type ChaosStats struct {
 	// Crashes / Flaps / Brownouts count machine windows that applied
 	// (windows dropped against an ineligible state are not counted).

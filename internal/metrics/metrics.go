@@ -20,6 +20,8 @@ import (
 )
 
 // Process accumulates per-process counters.
+//
+//itslint:frozen
 type Process struct {
 	PID      int
 	Name     string
@@ -109,6 +111,8 @@ func (p *Process) IdleTime() sim.Time { return p.MemStall + p.StorageWait }
 // Core accumulates per-core counters of a multi-core run. On a single-core
 // machine the slice is absent (legacy path) or holds one entry whose fields
 // mirror the Run-level aggregates.
+//
+//itslint:frozen
 type Core struct {
 	// ID is the simulated core number.
 	ID int `json:"id"`
@@ -184,6 +188,8 @@ type Run struct {
 
 // InjectionStats counts delivered device faults and kernel retries over a
 // run with fault injection enabled.
+//
+//itslint:frozen
 type InjectionStats struct {
 	// TailSpikes / ChannelStalls / DMAFailures count faults the injector
 	// delivered.

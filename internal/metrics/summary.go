@@ -3,6 +3,8 @@ package metrics
 // BucketCount is one non-empty histogram bucket in a snapshot. UpperNs is
 // the bucket's inclusive upper bound in nanoseconds; -1 marks the overflow
 // bucket.
+//
+//itslint:frozen
 type BucketCount struct {
 	UpperNs int64  `json:"upper_ns"`
 	Count   uint64 `json:"count"`
@@ -11,6 +13,8 @@ type BucketCount struct {
 // HistogramSnapshot is the JSON-serializable form of a Histogram, including
 // the full (non-empty) bucket counts so downstream tooling can re-derive any
 // quantile.
+//
+//itslint:frozen
 type HistogramSnapshot struct {
 	Count   uint64        `json:"count"`
 	MeanNs  int64         `json:"mean_ns"`
@@ -47,6 +51,8 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 // Summary is the JSON-serializable digest of one run: the aggregate Figure
 // 4/5 quantities, both latency distributions, and the raw per-process
 // counters. Durations are virtual nanoseconds.
+//
+//itslint:frozen
 type Summary struct {
 	Policy string `json:"policy"`
 	Batch  string `json:"batch"`

@@ -37,6 +37,25 @@ func New(seed uint64) *Source {
 	return &src
 }
 
+// Mix folds any number of seed parts into one well-spread 64-bit seed by
+// chaining each part through SplitMix64's finalizer. Unlike bare addition
+// (where Mix(a, b) vs Mix(a+1, b-1) would collide), every input bit
+// avalanches across the result, so derived streams stay uncorrelated.
+// seedflow's suggested fix rewrites collision-prone seed arithmetic in the
+// deterministic packages to calls of this helper.
+//
+//itslint:seedmixer
+func Mix(parts ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, p := range parts {
+		h ^= p
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		h = (h ^ (h >> 27)) * 0x94d049bb133111eb
+		h ^= h >> 31
+	}
+	return h
+}
+
 // Uint64 returns the next 64 uniformly distributed bits.
 func (r *Source) Uint64() uint64 {
 	s := &r.s

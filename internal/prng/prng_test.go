@@ -188,3 +188,22 @@ func TestZipfDegenerate(t *testing.T) {
 		t.Fatalf("Zipf(0) = %d, want 0", got)
 	}
 }
+
+// TestMix: the seed mixer is deterministic, order-sensitive, and — unlike
+// bare addition — does not collide when mass moves between parts.
+func TestMix(t *testing.T) {
+	if Mix(1, 2) != Mix(1, 2) {
+		t.Fatal("Mix is not deterministic")
+	}
+	if Mix(1, 2) == Mix(2, 1) {
+		t.Error("Mix should be order-sensitive")
+	}
+	// The collision class seedflow exists for: a+b == (a+1)+(b-1), but the
+	// mixed seeds must differ.
+	if Mix(10, 20) == Mix(11, 19) {
+		t.Error("Mix(10,20) collides with Mix(11,19) — the additive collision it must prevent")
+	}
+	if Mix() == Mix(0) {
+		t.Error("Mix() and Mix(0) should differ (zero part still avalanches)")
+	}
+}
